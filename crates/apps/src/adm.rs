@@ -1,0 +1,72 @@
+//! ADM — air-pollution dispersion model (pseudo-spectral transport).
+//!
+//! Paper anchors:
+//!
+//! * "ADM uses only the flat XDOALL construct" (§2).
+//! * The worst scaling cliff of the suite: speedup 8.52 at 16p but only
+//!   8.84 at 32p — adding the last 16 processors buys almost nothing
+//!   (Table 1). Average concurrency 13.56, parallel-loop concurrency
+//!   ≈5.9 per cluster at 32p (Table 3).
+//! * Its xdoall distribution overhead is the poster child of §6's
+//!   "over 10% of the completion time on a 4-cluster/32-processor
+//!   Cedar".
+//!
+//! The model: 60 transport steps of four flat XDOALL loops with only 40
+//! iterations each — barely more than one iteration per CE at 32p, so
+//! every CE pays the lock-protocol pickup cost for little work, and the
+//! iteration lock becomes a hot spot exactly as §6 describes.
+
+use crate::builder::AppBuilder;
+use crate::spec::{AccessPattern, AppSpec, BodySpec};
+
+/// Builds the ADM model.
+pub fn spec() -> AppSpec {
+    AppBuilder::new("ADM")
+        .array("conc", 512 * 1024)
+        .array("wind", 256 * 1024)
+        .array("spec work", 256 * 1024)
+        .repeat(21, |b| {
+            let mut b = b.serial_with(12_000, vec![AccessPattern::sweep(2, 8)]);
+            // Transport sub-steps: flat loops with only 16 chunky
+            // iterations — fewer than the full machine has processors,
+            // so the second half of the machine adds nothing (Table 1's
+            // 8.52 -> 8.84 saturation).
+            for stage in 0..6usize {
+                b = b.xdoall(
+                    16,
+                    BodySpec::compute(3_200)
+                        .with_jitter(10)
+                        .with_access(AccessPattern::sweep(stage % 2, 10)),
+                );
+            }
+            // Deposition bookkeeping on the main cluster.
+            b.cluster_loop(10, BodySpec::compute(300))
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adm_uses_only_the_flat_construct() {
+        let s = spec();
+        assert!(s.uses_xdoall());
+        assert!(!s.uses_sdoall(), "§2: ADM has no sdoall loops");
+    }
+
+    #[test]
+    fn adm_xdoall_loops_are_iteration_starved_at_32p() {
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Xdoall { iters, .. } = p {
+                assert!(iters < 32, "fewer iterations than CEs at 32p");
+            }
+        }
+    }
+
+    #[test]
+    fn adm_validates() {
+        spec().validate();
+    }
+}

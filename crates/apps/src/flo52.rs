@@ -1,0 +1,102 @@
+//! FLO52 — transonic flow past an airfoil (multigrid Euler solver).
+//!
+//! Paper anchors for this model:
+//!
+//! * "FLO52 only uses the hierarchical SDOALL/CDOALL construct" (§2).
+//! * Poorest speedup of the suite: 8.40 at 32p with average concurrency
+//!   14.82 (Table 1) — driven by modest loop parallelism and a serial
+//!   fraction.
+//! * The **highest contention overhead**: 17–27% of completion time
+//!   (Table 4) — its loop bodies are vector-heavy relative to compute.
+//! * Barrier wait reaches the top of the paper's 7–16% range and helper
+//!   wait is ~34% of completion time at 32p (§6).
+//!
+//! The model: 30 multigrid time steps, each a run of six SDOALL stages
+//! (residual evaluation, flux updates, grid transfers) whose inner
+//! cluster loops are *not* multiples of 8 iterations (imbalance keeps the
+//! parallel-loop concurrency near Table 3's ≈6.3–6.9), one small
+//! main-cluster-only smoothing loop, and a serial section (convergence
+//! bookkeeping).
+
+use crate::builder::AppBuilder;
+use crate::spec::{AccessPattern, AppSpec, BodySpec};
+
+/// Builds the FLO52 model.
+pub fn spec() -> AppSpec {
+    AppBuilder::new("FLO52")
+        .array("w (state)", 256 * 1024)
+        .array("x (mesh)", 256 * 1024)
+        .array("flux", 256 * 1024)
+        .array("residual", 256 * 1024)
+        .repeat(12, |b| {
+            let mut b = b
+                // Convergence check / coarse-grid bookkeeping: serial.
+                .serial_with(
+                    10_000,
+                    vec![AccessPattern::sweep(3, 8)],
+                );
+            // Three multigrid stages. The CEs are pipelined vector
+            // processors (§2): a body is two 80-word operand streams with
+            // little scalar work around them, so parallel loop execution
+            // pushes the network toward saturation — this is what makes
+            // FLO52 the contention champion of Table 4 (17-27% of CT).
+            for stage in 0..3usize {
+                let (src, dst) = match stage % 3 {
+                    0 => (0, 2),
+                    1 => (2, 3),
+                    _ => (3, 0),
+                };
+                b = b.sdoall(
+                    10, // 10 chunks over 4 clusters: uneven split
+                    34, // 34 inner iterations over 8 CEs: imbalanced
+                    BodySpec::compute(150)
+                        .with_jitter(12)
+                        .with_access(AccessPattern::sweep(src, 80))
+                        .with_access(AccessPattern::sweep(dst, 80)),
+                );
+            }
+            // Boundary-condition smoothing: main-cluster-only loop.
+            b.cluster_loop(
+                20,
+                BodySpec::compute(300).with_access(AccessPattern::sweep(1, 12)),
+            )
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flo52_uses_only_the_hierarchical_construct() {
+        let s = spec();
+        assert!(s.uses_sdoall());
+        assert!(!s.uses_xdoall(), "§2: FLO52 has no xdoall loops");
+    }
+
+    #[test]
+    fn flo52_has_cluster_only_loops_and_serial_sections() {
+        let flat = spec().flattened();
+        assert!(flat
+            .iter()
+            .any(|p| matches!(p, crate::spec::Phase::ClusterLoop { .. })));
+        assert!(flat
+            .iter()
+            .any(|p| matches!(p, crate::spec::Phase::Serial { .. })));
+    }
+
+    #[test]
+    fn flo52_inner_loops_are_imbalanced_on_eight_ces() {
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Sdoall { inner, .. } = p {
+                assert_ne!(inner % 8, 0, "imbalance drives Table 3's ~6.5");
+            }
+        }
+    }
+
+    #[test]
+    fn flo52_validates() {
+        spec().validate();
+    }
+}

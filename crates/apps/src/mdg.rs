@@ -1,0 +1,92 @@
+//! MDG — molecular dynamics of liquid water (ordinary differential
+//! equation integration over particle pairs).
+//!
+//! Paper anchors:
+//!
+//! * "MDG obtains nearly linear speedups as more number of processors
+//!   are utilized. This is because of the high degree of parallelism
+//!   (reflected by the high average concurrency/processor utilization
+//!   values)" (§3.1) — speedup 24.43 at 32p, concurrency 28.82
+//!   (Table 1), parallel-loop concurrency ≈7.9 per cluster (Table 3).
+//! * Lowest contention overhead at small scale (1.3% at 4p), rising to
+//!   13.4% at 32p (Table 4) — bodies are compute-dominated (pair force
+//!   evaluations) with light global traffic.
+//! * Smallest OS overhead percentage in Table 2 (its completion time is
+//!   the longest, diluting fixed-rate OS activity).
+//!
+//! The model: 25 integration steps; three large SDOALL force loops with
+//! perfectly balanced 32-iteration inner loops and heavyweight bodies,
+//! one flat XDOALL neighbour-list update over 256 molecules, a small
+//! cluster-only reduction and a short serial section.
+
+use crate::builder::AppBuilder;
+use crate::spec::{AccessPattern, AppSpec, BodySpec};
+
+/// Builds the MDG model.
+pub fn spec() -> AppSpec {
+    AppBuilder::new("MDG")
+        .array("pos", 512 * 1024)
+        .array("vel", 512 * 1024)
+        .array("force", 512 * 1024)
+        .array("nbr", 256 * 1024)
+        .repeat(15, |b| {
+            let mut b = b.serial_with(5_000, vec![AccessPattern::sweep(1, 8)]);
+            // Force evaluation: large-granularity, compute-dominated.
+            for stage in 0..3usize {
+                b = b.sdoall(
+                    16,
+                    32, // divisible by 8: near-perfect balance
+                    BodySpec::compute(1_800)
+                        .with_jitter(4)
+                        .with_access(AccessPattern::sweep(stage % 3, 8)),
+                );
+            }
+            // Neighbour-list update: flat xdoall, chunky iterations.
+            b = b.xdoall(
+                256,
+                BodySpec::compute(2_200)
+                    .with_jitter(5)
+                    .with_access(AccessPattern::sweep(3, 8)),
+            );
+            // Energy reduction on the main cluster.
+            b.cluster_loop(16, BodySpec::compute(400))
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mdg_uses_both_constructs() {
+        let s = spec();
+        assert!(s.uses_sdoall());
+        assert!(s.uses_xdoall());
+    }
+
+    #[test]
+    fn mdg_bodies_are_compute_dominated() {
+        // Light traffic relative to compute is what keeps MDG's
+        // contention low (Table 4): > 100 compute cycles per dword.
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Sdoall { body, .. } = p {
+                assert!(body.compute.0 / body.words() > 100);
+            }
+        }
+    }
+
+    #[test]
+    fn mdg_inner_loops_are_perfectly_balanced() {
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Sdoall { inner, .. } = p {
+                assert_eq!(inner % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn mdg_validates() {
+        spec().validate();
+    }
+}

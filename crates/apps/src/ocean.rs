@@ -1,0 +1,99 @@
+//! OCEAN — 2-D ocean basin simulation (spectral/FFT-based solver).
+//!
+//! Paper anchors:
+//!
+//! * "OCEAN shows near linear speedups upto 8 processors, but beyond 8
+//!   processors the speedup becomes sub-linear due to decreasing level
+//!   of available concurrency" (§3.1) — speedup 7.16 at 8p but only
+//!   15.58 at 32p (Table 1).
+//! * The *lowest* parallel-loop concurrency at 32p: ≈5.6 per cluster
+//!   (Table 3) — its FFT stages have only 8 outer chunks and
+//!   12-iteration inner loops, which starve 4 clusters × 8 CEs.
+//! * Contention overhead is moderate and *non-monotone*: 8.0% at 16p
+//!   but 7.4% at 32p (Table 4) — at 32p the starved loops leave the
+//!   network under-utilized part of the time.
+//!
+//! The model: 50 time steps; five SDOALL transform stages with outer=8
+//! (exactly one chunk per cluster at 16p, two at 32p — the concurrency
+//! cliff), a flat XDOALL field update, a boundary cluster loop and a
+//! serial section.
+
+use crate::builder::AppBuilder;
+use crate::spec::{AccessPattern, AppSpec, BodySpec};
+
+/// Builds the OCEAN model.
+pub fn spec() -> AppSpec {
+    AppBuilder::new("OCEAN")
+        .array("psi", 512 * 1024)
+        .array("vort", 512 * 1024)
+        .array("fft work", 256 * 1024)
+        .array("bc", 128 * 1024)
+        .repeat(25, |b| {
+            let mut b = b.serial_with(6_000, vec![AccessPattern::sweep(3, 8)]);
+            // FFT stages: few outer chunks, modest inner loops.
+            for stage in 0..5usize {
+                b = b.sdoall(
+                    8,  // one chunk per cluster at 16p; starves 32p
+                    12, // 12 over 8 CEs: 1.5 rounds, concurrency ~5-6
+                    BodySpec::compute(2_000)
+                        .with_jitter(8)
+                        .with_access(AccessPattern::sweep(stage % 3, 12)),
+                );
+            }
+            // Field update: flat xdoall.
+            b = b.xdoall(
+                32,
+                BodySpec::compute(1_800)
+                    .with_jitter(6)
+                    .with_access(AccessPattern::sweep(1, 12)),
+            );
+            // Boundary relaxation on the main cluster.
+            b = b.cluster_loop(
+                12,
+                BodySpec::compute(400).with_access(AccessPattern::sweep(3, 8)),
+            );
+            // Shoreline update: an ordered recurrence along the coast
+            // (CDOACROSS without an outer spread loop, §2).
+            b.doacross(
+                8,
+                BodySpec::compute(300).with_access(AccessPattern::sweep(3, 8)),
+                80,
+            )
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ocean_uses_both_constructs() {
+        let s = spec();
+        assert!(s.uses_sdoall());
+        assert!(s.uses_xdoall());
+    }
+
+    #[test]
+    fn ocean_outer_chunks_starve_four_clusters() {
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Sdoall { outer, .. } = p {
+                assert_eq!(outer, 8, "8 chunks over 4 clusters is the cliff");
+            }
+        }
+    }
+
+    #[test]
+    fn ocean_inner_loops_are_imbalanced() {
+        for p in spec().flattened() {
+            if let crate::spec::Phase::Sdoall { inner, .. } = p {
+                assert_ne!(inner % 8, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn ocean_validates() {
+        spec().validate();
+    }
+}

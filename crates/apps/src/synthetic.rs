@@ -1,0 +1,151 @@
+//! Synthetic workload generators for ablation studies and benches.
+
+use crate::builder::AppBuilder;
+use crate::spec::{AccessPattern, AppSpec, BodySpec};
+
+/// A uniform loop-parallel workload: `steps` repetitions of
+/// `loops_per_step` identical SDOALL nests.
+///
+/// Useful for sweeping one parameter (granularity, traffic density,
+/// iteration balance) while everything else is held fixed.
+pub fn uniform_sdoall(
+    steps: u32,
+    loops_per_step: u32,
+    outer: u32,
+    inner: u32,
+    compute: u64,
+    words: u32,
+) -> AppSpec {
+    let mut b = AppBuilder::new("SYNTH-SDOALL").array("data", 1024 * 1024);
+    b = b.repeat(steps, |mut rb| {
+        rb = rb.serial(1_000);
+        for _ in 0..loops_per_step {
+            let mut body = BodySpec::compute(compute);
+            if words > 0 {
+                body = body.with_access(AccessPattern::sweep(0, words));
+            }
+            rb = rb.sdoall(outer, inner, body);
+        }
+        rb
+    });
+    b.build()
+}
+
+/// A uniform flat-XDOALL workload, the natural counterpart for the
+/// "rewrite xdoall as sdoall" ablation §6 suggests.
+pub fn uniform_xdoall(
+    steps: u32,
+    loops_per_step: u32,
+    iters: u32,
+    compute: u64,
+    words: u32,
+) -> AppSpec {
+    let mut b = AppBuilder::new("SYNTH-XDOALL").array("data", 1024 * 1024);
+    b = b.repeat(steps, |mut rb| {
+        rb = rb.serial(1_000);
+        for _ in 0..loops_per_step {
+            let mut body = BodySpec::compute(compute);
+            if words > 0 {
+                body = body.with_access(AccessPattern::sweep(0, words));
+            }
+            rb = rb.xdoall(iters, body);
+        }
+        rb
+    });
+    b.build()
+}
+
+/// A lock-hammering hot-spot workload (Pfister & Norton \[15\]): flat
+/// loops whose bodies are nearly empty, so completion time is dominated
+/// by the contended iteration lock in global memory.
+pub fn hotspot(steps: u32, iters_per_loop: u32) -> AppSpec {
+    AppBuilder::new("SYNTH-HOTSPOT")
+        .array("data", 64 * 1024)
+        .repeat(steps, |b| {
+            b.xdoall(iters_per_loop, BodySpec::compute(20))
+        })
+        .build()
+}
+
+/// A DOACROSS pipeline: parallel bodies with an ordered serialized
+/// region per iteration (wavefront/recurrence codes).
+pub fn doacross_pipeline(steps: u32, iters: u32, compute: u64, region: u64) -> AppSpec {
+    AppBuilder::new("SYNTH-DOACROSS")
+        .array("data", 256 * 1024)
+        .repeat(steps, |b| {
+            b.doacross(
+                iters,
+                BodySpec::compute(compute).with_access(AccessPattern::sweep(0, 8)),
+                region,
+            )
+        })
+        .build()
+}
+
+/// A memory-streaming workload: large unit-stride vector bursts with
+/// minimal compute, stressing the network and module interleaving.
+pub fn streaming(steps: u32, outer: u32, inner: u32, words: u32) -> AppSpec {
+    AppBuilder::new("SYNTH-STREAM")
+        .array("src", 2 * 1024 * 1024)
+        .array("dst", 2 * 1024 * 1024)
+        .repeat(steps, |b| {
+            b.sdoall(
+                outer,
+                inner,
+                BodySpec::compute(10)
+                    .with_access(AccessPattern::sweep(0, words))
+                    .with_access(AccessPattern::sweep(1, words)),
+            )
+        })
+        .build()
+}
+
+/// A pathological-stride workload: every access lands on the same memory
+/// module (stride = module count), defeating the interleaving.
+pub fn module_conflict(steps: u32, outer: u32, inner: u32, words: u32) -> AppSpec {
+    AppBuilder::new("SYNTH-CONFLICT")
+        .array("data", 4 * 1024 * 1024)
+        .repeat(steps, |b| {
+            b.sdoall(
+                outer,
+                inner,
+                BodySpec::compute(10).with_access(AccessPattern::strided(0, words, 32)),
+            )
+        })
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_valid_specs() {
+        uniform_sdoall(2, 2, 4, 8, 100, 8).validate();
+        uniform_xdoall(2, 2, 16, 100, 8).validate();
+        hotspot(2, 64).validate();
+        streaming(1, 4, 8, 32).validate();
+        module_conflict(1, 4, 8, 16).validate();
+    }
+
+    #[test]
+    fn hotspot_bodies_are_tiny() {
+        let h = hotspot(1, 32);
+        for p in h.flattened() {
+            if let crate::spec::Phase::Xdoall { body, .. } = p {
+                assert!(body.compute.0 < 100);
+                assert!(body.accesses.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_stride_hits_one_module() {
+        let c = module_conflict(1, 1, 1, 16);
+        for p in c.flattened() {
+            if let crate::spec::Phase::Sdoall { body, .. } = p {
+                assert_eq!(body.accesses[0].stride_dwords, 32);
+            }
+        }
+    }
+}

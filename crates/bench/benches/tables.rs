@@ -1,0 +1,93 @@
+//! One criterion benchmark per paper table/figure: each measures the
+//! end-to-end time to *regenerate* that artifact (campaign + analysis +
+//! rendering) on a reduced-scale suite. The publication-scale artifacts
+//! come from the `table1`..`fig9` binaries; these benches track the cost
+//! of the pipeline itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cedar_apps::perfect_suite;
+use cedar_core::suite::SuiteResult;
+use cedar_hw::Configuration;
+
+/// A heavily reduced campaign: all five apps, three configurations.
+fn mini_campaign() -> SuiteResult {
+    let apps: Vec<_> = perfect_suite().into_iter().map(|a| a.shrunk(24)).collect();
+    SuiteResult::measure(
+        &apps,
+        &[Configuration::P1, Configuration::P8, Configuration::P32],
+    )
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regenerate");
+    g.sample_size(10);
+    g.bench_function("table1_speedups", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::tables::table1(&suite))
+        })
+    });
+    g.bench_function("table2_os_overheads", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::tables::table2(&suite))
+        })
+    });
+    g.bench_function("table3_parallel_concurrency", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::tables::table3(&suite))
+        })
+    });
+    g.bench_function("table4_contention", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::tables::table4(&suite))
+        })
+    });
+    g.bench_function("fig3_ct_breakdown", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::figures::figure3(&suite))
+        })
+    });
+    g.bench_function("fig5to9_user_breakdowns", |b| {
+        b.iter(|| {
+            let suite = mini_campaign();
+            black_box(cedar_report::figures::figures5to9(&suite))
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis_only(c: &mut Criterion) {
+    // Separate the analysis/rendering cost from the simulation cost.
+    let suite = mini_campaign();
+    let mut g = c.benchmark_group("analysis_only");
+    g.bench_function("all_tables_and_figures", |b| {
+        b.iter(|| {
+            black_box((
+                cedar_report::tables::table1(&suite),
+                cedar_report::tables::table2(&suite),
+                cedar_report::tables::table3(&suite),
+                cedar_report::tables::table4(&suite),
+                cedar_report::figures::figure3(&suite),
+                cedar_report::figures::figures5to9(&suite),
+            ))
+        })
+    });
+    g.bench_function("csv_exports", |b| {
+        b.iter(|| {
+            black_box((
+                cedar_report::csv::summary_csv(&suite),
+                cedar_report::csv::breakdown_csv(&suite),
+                cedar_report::csv::concurrency_csv(&suite),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_analysis_only);
+criterion_main!(benches);

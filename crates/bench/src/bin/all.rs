@@ -1,0 +1,23 @@
+//! Runs the full measurement campaign and regenerates every table and
+//! figure of the paper, plus machine-readable CSVs under `results/`.
+use std::fs;
+
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!("{}", cedar_report::tables::table1(suite));
+    println!("{}", cedar_report::figures::figure3(suite));
+    println!("{}", cedar_report::tables::table2(suite));
+    println!("{}", cedar_report::figures::figures5to9(suite));
+    println!("{}", cedar_report::tables::table3(suite));
+    println!("{}", cedar_report::tables::table4(suite));
+    let dir = std::path::Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let _ = fs::write(dir.join("summary.csv"), cedar_report::csv::summary_csv(suite));
+        let _ = fs::write(dir.join("breakdown.csv"), cedar_report::csv::breakdown_csv(suite));
+        let _ = fs::write(
+            dir.join("concurrency.csv"),
+            cedar_report::csv::concurrency_csv(suite),
+        );
+        println!("CSV output written to results/");
+    }
+}

@@ -1,0 +1,10 @@
+//! Paper-vs-measured comparison: runs the campaign and prints the
+//! published Table 1/3/4 numbers next to the simulator's, the executable
+//! form of EXPERIMENTS.md.
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!("{}", cedar_report::paper::speedup_comparison(suite));
+    println!("{}", cedar_report::paper::concurrency_comparison(suite));
+    println!("{}", cedar_report::paper::contention_comparison(suite));
+    println!("{}", cedar_report::paper::table3_comparison(suite));
+}

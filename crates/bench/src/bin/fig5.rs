@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: the user-time breakdown for FLO52 across
+//! configurations (main and helper tasks).
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!(
+        "Figure 5: {}",
+        cedar_report::figures::user_breakdown(suite.app("FLO52"))
+    );
+}

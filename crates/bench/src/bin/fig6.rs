@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: the user-time breakdown for MDG across
+//! configurations (main and helper tasks).
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!(
+        "Figure 6: {}",
+        cedar_report::figures::user_breakdown(suite.app("MDG"))
+    );
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 7: the user-time breakdown for ARC2D across
+//! configurations (main and helper tasks).
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!(
+        "Figure 7: {}",
+        cedar_report::figures::user_breakdown(suite.app("ARC2D"))
+    );
+}

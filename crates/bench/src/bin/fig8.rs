@@ -1,0 +1,9 @@
+//! Regenerates Figure 8: the user-time breakdown for OCEAN across
+//! configurations (main and helper tasks).
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!(
+        "Figure 8: {}",
+        cedar_report::figures::user_breakdown(suite.app("OCEAN"))
+    );
+}

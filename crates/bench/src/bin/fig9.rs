@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: the user-time breakdown for ADM across
+//! configurations (main and helper tasks).
+fn main() {
+    let suite = cedar_bench::campaign();
+    println!(
+        "Figure 9: {}",
+        cedar_report::figures::user_breakdown(suite.app("ADM"))
+    );
+}

@@ -1,0 +1,30 @@
+//! Hot-spot ablation (Pfister & Norton \[15\], §6 discussion): empty-body
+//! flat loops concentrate all synchronization on one memory module;
+//! sweeping the processor count shows the hot module's share and the
+//! queueing growth that §6's "was clustering a good idea?" argument is
+//! about.
+use cedar_apps::synthetic;
+use cedar_core::{Experiment, SimConfig};
+use cedar_hw::Configuration;
+
+fn main() {
+    println!("Hot-spot ablation: 4 x 256-iteration empty-body xdoall loops");
+    println!(
+        "{:>8} | {:>10} | {:>12} | {:>12} | {:>14}",
+        "config", "CT (s)", "hot-mod sync", "hot share %", "queue/packet"
+    );
+    println!("{}", "-".repeat(70));
+    for c in Configuration::ALL {
+        let run = Experiment::new(synthetic::hotspot(4, 256), SimConfig::cedar(c)).run();
+        let total: u64 = run.gmem.module_sync_requests.iter().sum();
+        let hot = run.gmem.module_sync_requests.iter().max().copied().unwrap_or(0);
+        println!(
+            "{:>8} | {:>10.4} | {:>12} | {:>12.1} | {:>14.2}",
+            c.label(),
+            run.ct_seconds(),
+            hot,
+            hot as f64 / total.max(1) as f64 * 100.0,
+            run.gmem.mean_queued_per_packet(),
+        );
+    }
+}

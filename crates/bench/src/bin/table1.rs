@@ -1,0 +1,5 @@
+//! Regenerates Table 1: completion times, speedups and average
+//! concurrency for the five applications on 1–32 processors.
+fn main() {
+    println!("{}", cedar_report::tables::table1(cedar_bench::campaign()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2: detailed OS-activity overheads on the 4-cluster
+//! (32-processor) Cedar for FLO52, ARC2D and MDG.
+fn main() {
+    println!("{}", cedar_report::tables::table2(cedar_bench::campaign()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 3: average parallel-loop concurrency per
+//! task/cluster, from the (1 - pf) + pf * par_concurr = avg_concurr
+//! methodology of section 7.
+fn main() {
+    println!("{}", cedar_report::tables::table3(cedar_bench::campaign()));
+}

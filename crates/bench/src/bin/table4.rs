@@ -1,0 +1,5 @@
+//! Regenerates Table 4: actual and ideal parallel-loop execution times
+//! and the global-memory/network contention overhead Ov_cont.
+fn main() {
+    println!("{}", cedar_report::tables::table4(cedar_bench::campaign()));
+}

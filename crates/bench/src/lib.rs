@@ -1,0 +1,77 @@
+//! # cedar-bench — the benchmark harness
+//!
+//! One binary per table and data figure of the paper:
+//!
+//! | binary   | regenerates                                             |
+//! |----------|---------------------------------------------------------|
+//! | `table1` | Table 1 — CTs, speedups, average concurrency            |
+//! | `table2` | Table 2 — detailed OS overheads at 32 processors        |
+//! | `table3` | Table 3 — average parallel-loop concurrency             |
+//! | `table4` | Table 4 — GM and network contention overhead            |
+//! | `fig3`   | Figure 3 — completion-time breakdown                    |
+//! | `fig5` … `fig9` | Figures 5–9 — per-app user-time breakdowns       |
+//! | `all`    | the full campaign: every table, every figure, CSVs      |
+//! | `probe`  | calibration view of one application                     |
+//! | `hotspot`| the Pfister & Norton hot-spot ablation (§6 discussion)  |
+//! | `ablation` | xdoall-vs-sdoall rewrite ablation (§6 suggestion)     |
+//!
+//! Set `CEDAR_SHRINK=<n>` to divide every time-step count by `n` for a
+//! quick (non-publication) pass.
+
+use std::sync::OnceLock;
+
+use cedar_apps::AppSpec;
+use cedar_core::suite::SuiteResult;
+use cedar_hw::Configuration;
+
+/// The shrink factor from `CEDAR_SHRINK` (default 1 = full scale).
+pub fn shrink_factor() -> u32 {
+    std::env::var("CEDAR_SHRINK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(1)
+}
+
+/// The (possibly shrunk) Perfect suite.
+pub fn suite_apps() -> Vec<AppSpec> {
+    let f = shrink_factor();
+    cedar_apps::perfect_suite()
+        .into_iter()
+        .map(|a| if f > 1 { a.shrunk(f) } else { a })
+        .collect()
+}
+
+/// Runs the full measurement campaign once per process and caches it —
+/// every table/figure binary shares the same run.
+pub fn campaign() -> &'static SuiteResult {
+    static CAMPAIGN: OnceLock<SuiteResult> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        let f = shrink_factor();
+        if f > 1 {
+            eprintln!("note: CEDAR_SHRINK={f} — quick pass, not publication scale");
+        }
+        eprintln!("running measurement campaign (5 apps x 5 configurations)...");
+        let t0 = std::time::Instant::now();
+        let suite = SuiteResult::measure(&suite_apps(), &Configuration::ALL);
+        eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
+        suite
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrink_factor_defaults_to_one() {
+        // The test environment does not set CEDAR_SHRINK.
+        assert!(shrink_factor() >= 1);
+    }
+
+    #[test]
+    fn suite_apps_are_the_perfect_five() {
+        let names: Vec<_> = suite_apps().iter().map(|a| a.name).collect();
+        assert_eq!(names, vec!["FLO52", "ARC2D", "MDG", "OCEAN", "ADM"]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Complete simulation configuration.
+
+use cedar_hw::{Configuration, HwConfig};
+use cedar_rtl::RtlConfig;
+use cedar_xylem::{BackgroundLoad, OsConfig};
+
+/// Everything needed to instantiate one simulated Cedar machine.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hardware: configuration, network, cluster parameters.
+    pub hw: HwConfig,
+    /// Operating-system cost model.
+    pub os: OsConfig,
+    /// Runtime-library cost model.
+    pub rtl: RtlConfig,
+    /// Master random seed (workload jitter, daemon phases).
+    pub seed: u64,
+    /// Keep the full cedarhpm event trace in the result (memory-hungry
+    /// on long runs; breakdowns are computed either way).
+    pub keep_trace: bool,
+    /// Safety valve: abort if the event count exceeds this bound.
+    pub max_events: u64,
+    /// Competing multiprogrammed load (None = the paper's dedicated,
+    /// single-user setting).
+    pub background: Option<BackgroundLoad>,
+}
+
+impl SimConfig {
+    /// The machine the paper measured, at a given processor count.
+    pub fn cedar(configuration: Configuration) -> Self {
+        SimConfig {
+            hw: HwConfig::cedar(configuration),
+            os: OsConfig::cedar(),
+            rtl: RtlConfig::cedar(),
+            seed: 0xCEDA_12B5,
+            keep_trace: false,
+            max_events: 4_000_000_000,
+            background: None,
+        }
+    }
+
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Keeps the cedarhpm trace in the result (builder style).
+    pub fn with_trace(mut self) -> Self {
+        self.keep_trace = true;
+        self
+    }
+
+    /// Adds a competing multiprogrammed load (builder style) — beyond
+    /// the paper, which measured a dedicated system.
+    pub fn with_background(mut self, load: BackgroundLoad) -> Self {
+        self.background = Some(load);
+        self
+    }
+
+    /// The active processor configuration.
+    pub fn configuration(&self) -> Configuration {
+        self.hw.configuration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_config_carries_configuration() {
+        let c = SimConfig::cedar(Configuration::P16);
+        assert_eq!(c.configuration(), Configuration::P16);
+        assert_eq!(c.hw.net.modules, 32);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SimConfig::cedar(Configuration::P1).with_seed(7).with_trace();
+        assert_eq!(c.seed, 7);
+        assert!(c.keep_trace);
+    }
+}

@@ -1,0 +1,48 @@
+//! The master event enum of the simulation.
+
+use cedar_hw::GmemEvent;
+
+/// Every event the machine's queue can carry.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// A packet hop inside the global-memory system.
+    Gmem(GmemEvent),
+    /// A CE's current activity (compute span) completed. `gen` is the
+    /// activity generation; stale completions are dropped.
+    CeDone {
+        /// CE position (dense index among active CEs).
+        ce: usize,
+        /// Activity generation stamped at scheduling time.
+        gen: u64,
+    },
+    /// A CE resumes after an OS stall or penalty with its stashed state.
+    CeResume {
+        /// CE position.
+        ce: usize,
+        /// Activity generation stamped at scheduling time.
+        gen: u64,
+    },
+    /// An intra-cluster (concurrency-bus) barrier released.
+    CbusRelease {
+        /// Cluster position (dense index among active clusters).
+        cluster: usize,
+        /// Barrier episode, to drop stale releases.
+        episode: u64,
+    },
+    /// The OS bookkeeping daemon fires on a cluster.
+    Daemon {
+        /// Cluster position.
+        cluster: usize,
+    },
+    /// An asynchronous system trap fires on a cluster.
+    Ast {
+        /// Cluster position.
+        cluster: usize,
+    },
+    /// A competing job's gang quantum steals a cluster (multiprogrammed
+    /// extension; never fires in the paper's dedicated setting).
+    Background {
+        /// Cluster position.
+        cluster: usize,
+    },
+}

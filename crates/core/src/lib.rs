@@ -1,0 +1,45 @@
+//! # cedar-core — the reproduction's measurement methodology
+//!
+//! This crate assembles the substrates — [`cedar_hw`] (clusters, network,
+//! global memory), [`cedar_xylem`] (operating system), [`cedar_rtl`]
+//! (runtime library), [`cedar_trace`] (cedarhpm / statfx / Q monitors) —
+//! into a complete simulated Cedar machine, runs the [`cedar_apps`]
+//! workload models on it, and applies the paper's methodology:
+//!
+//! * **completion-time breakdown** into user / system / interrupt / spin
+//!   (Figure 3) with per-activity OS detail (Table 2);
+//! * **user-time breakdown** into the Figure 4 taxonomy (Figures 5–9);
+//! * **average parallel-loop concurrency** from
+//!   `(1 − pf) + pf·par_concurr = avg_concurr` (Table 3,
+//!   [`methodology::conc`]);
+//! * **global-memory and network contention overhead**
+//!   `Ov_cont = (T_p_actual − T_p_ideal)/CT` (Table 4,
+//!   [`methodology::contention`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cedar_core::{Experiment, SimConfig};
+//! use cedar_hw::Configuration;
+//! use cedar_apps::synthetic;
+//!
+//! let app = synthetic::uniform_sdoall(2, 2, 4, 8, 200, 8);
+//! let result = Experiment::new(app, SimConfig::cedar(Configuration::P8)).run();
+//! assert!(result.completion_time.0 > 0);
+//! ```
+
+pub mod config;
+pub mod events;
+pub mod layout;
+pub mod machine;
+pub mod methodology;
+pub mod metrics;
+pub mod program;
+pub mod result;
+pub mod run;
+pub mod suite;
+
+pub use config::SimConfig;
+pub use result::RunResult;
+pub use run::Experiment;
+pub use suite::{AppResults, SuiteResult};

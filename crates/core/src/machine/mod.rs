@@ -1,0 +1,503 @@
+//! The assembled Cedar machine: event loop and primitive operations.
+//!
+//! The machine owns every component (global-memory system, CE engines,
+//! task state machines, OS models, monitors) and routes the master event
+//! stream between them. Loop-protocol logic lives in [`exec`]; OS
+//! activity handling lives in [`os`].
+
+pub mod exec;
+pub mod os;
+pub mod state;
+
+#[cfg(test)]
+mod tests;
+
+use std::collections::HashMap;
+
+use cedar_apps::AppSpec;
+use cedar_hw::cbus::CbusBarrier;
+use cedar_hw::ce::{Activity, CeEngine};
+use cedar_hw::{
+    CeId, ClusterId, GlobalAddr, GlobalMemorySystem, GmemEvent, MemOp, RequestId, VectorAccess,
+};
+use cedar_rtl::{FinishBarrier, WorkWaiter};
+use cedar_sim::{Cycles, EventQueue, Outbox, SimTime, SplitMix64};
+use cedar_trace::{HpmMonitor, QMonitor, Statfx, TraceEventId, UserBucket};
+use cedar_xylem::{AddressSpace, AstSchedule, DaemonSchedule, KernelLock, OsAccounting};
+
+use crate::config::SimConfig;
+use crate::events::Ev;
+use crate::layout::MemoryLayout;
+use crate::program::CompiledProgram;
+use crate::result::RunResult;
+use state::{Ce, CeMode, Role, Task};
+
+/// The complete simulated machine for one run.
+pub struct Machine {
+    pub(crate) cfg: SimConfig,
+    pub(crate) app_name: &'static str,
+    pub(crate) layout: MemoryLayout,
+    pub(crate) program: CompiledProgram,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) gmem: GlobalMemorySystem,
+    pub(crate) ces: Vec<Ce>,
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) vm: AddressSpace,
+    pub(crate) os_acct: OsAccounting,
+    pub(crate) qmon: QMonitor,
+    pub(crate) statfx: Statfx,
+    pub(crate) hpm: HpmMonitor,
+    pub(crate) cluster_locks: Vec<KernelLock>,
+    pub(crate) global_lock: KernelLock,
+    pub(crate) daemons: Vec<DaemonSchedule>,
+    pub(crate) asts: Vec<AstSchedule>,
+    pub(crate) background: Vec<cedar_xylem::BackgroundSchedule>,
+    pub(crate) background_stolen: Cycles,
+    pub(crate) rng: SplitMix64,
+    pub(crate) req_owner: HashMap<RequestId, usize>,
+    pub(crate) joined_truth: i32,
+    pub(crate) now: SimTime,
+    pub(crate) finished_at: Option<SimTime>,
+    pub(crate) loop_seq: u32,
+    pub(crate) posted: Option<exec::PostedLoop>,
+    pub(crate) phase_idx: usize,
+    pub(crate) serial_counter: u64,
+    pub(crate) bodies_executed: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) breakdowns: Vec<cedar_trace::TaskBreakdown>,
+}
+
+impl Machine {
+    /// Builds the machine for `app` under `cfg`.
+    pub fn new(app: &AppSpec, cfg: SimConfig) -> Self {
+        cfg.os.validate();
+        let configuration = cfg.configuration();
+        let n_clusters = configuration.clusters() as usize;
+        let per = configuration.ces_per_cluster();
+        let layout = MemoryLayout::new(app, cfg.os.page_bytes);
+        let program = CompiledProgram::compile(app);
+        let mut rng = SplitMix64::new(cfg.seed);
+
+        let mut vm = AddressSpace::new(&cfg.os);
+        // The runtime data area (locks, flags, counters) is warmed before
+        // the measured region; only application arrays demand-fault.
+        let words = layout.words();
+        for a in [
+            words.activity,
+            words.lock,
+            words.index,
+            words.descriptor,
+            words.joined,
+            words.ticket,
+        ] {
+            vm.premap(a.page(cfg.os.page_bytes));
+        }
+
+        let ces = configuration
+            .ces()
+            .map(|id| Ce::new(CeEngine::new(id)))
+            .collect();
+
+        let tasks = (0..n_clusters)
+            .map(|c| Task {
+                role: if c == 0 { Role::Main } else { Role::Helper },
+                waiter: WorkWaiter::new(words, cfg.rtl.activity_spin_period),
+                finish: FinishBarrier::new(words, cfg.rtl.barrier_spin_period),
+                outer_claimer: None,
+                barrier: CbusBarrier::new(per, cfg.hw.cluster.cbus_barrier),
+                barrier_episode: 0,
+                cur: None,
+                lead_bucket: None,
+                lead_since: Cycles::ZERO,
+                lead_overlap: Cycles::ZERO,
+            })
+            .collect();
+
+        let daemons = (0..n_clusters)
+            .map(|_| DaemonSchedule::new(&cfg.os, rng.next_u64()))
+            .collect();
+        let asts = (0..n_clusters)
+            .map(|_| AstSchedule::new(&cfg.os, rng.next_u64()))
+            .collect();
+        let background = cfg
+            .background
+            .map(|load| {
+                (0..n_clusters)
+                    .map(|_| cedar_xylem::BackgroundSchedule::new(load, rng.next_u64()))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        Machine {
+            app_name: app.name,
+            layout,
+            program,
+            queue: EventQueue::with_capacity(1 << 16),
+            gmem: GlobalMemorySystem::new(cfg.hw.net.clone()),
+            ces,
+            tasks,
+            vm,
+            os_acct: OsAccounting::new(n_clusters as u8),
+            qmon: QMonitor::new(n_clusters as u8),
+            statfx: Statfx::new(n_clusters as u8, per),
+            hpm: HpmMonitor::new(),
+            cluster_locks: (0..n_clusters).map(|_| KernelLock::new()).collect(),
+            global_lock: KernelLock::new(),
+            daemons,
+            asts,
+            background,
+            background_stolen: Cycles::ZERO,
+            rng,
+            req_owner: HashMap::new(),
+            joined_truth: 0,
+            now: Cycles::ZERO,
+            finished_at: None,
+            loop_seq: 0,
+            posted: None,
+            phase_idx: 0,
+            serial_counter: 0,
+            bodies_executed: 0,
+            events_processed: 0,
+            breakdowns: (0..n_clusters)
+                .map(|_| cedar_trace::TaskBreakdown::new())
+                .collect(),
+            cfg,
+        }
+    }
+
+    // ---- topology helpers -------------------------------------------
+
+    /// Active CEs per cluster.
+    pub(crate) fn per_cluster(&self) -> usize {
+        self.cfg.configuration().ces_per_cluster() as usize
+    }
+
+    /// Cluster position of CE position `pos`.
+    pub(crate) fn cluster_of(&self, pos: usize) -> usize {
+        pos / self.per_cluster()
+    }
+
+    /// The hardware `CeId` of CE position `pos`.
+    pub(crate) fn ce_id(&self, pos: usize) -> CeId {
+        self.ces[pos].engine.id()
+    }
+
+    /// `true` if `pos` is its cluster's lead CE.
+    pub(crate) fn is_lead(&self, pos: usize) -> bool {
+        pos.is_multiple_of(self.per_cluster())
+    }
+
+    /// Lead CE position of cluster `cluster`.
+    pub(crate) fn lead_of(&self, cluster: usize) -> usize {
+        cluster * self.per_cluster()
+    }
+
+    /// CE positions of cluster `cluster`.
+    pub(crate) fn cluster_ces(&self, cluster: usize) -> std::ops::Range<usize> {
+        let per = self.per_cluster();
+        cluster * per..(cluster + 1) * per
+    }
+
+    // ---- mode & accounting ------------------------------------------
+
+    /// Transitions CE `pos` to `mode`, updating the concurrency monitor
+    /// and (for lead CEs) the task's user-time bucket.
+    pub(crate) fn set_mode(&mut self, pos: usize, mode: CeMode) {
+        let was_busy = self.ces[pos].mode.is_busy();
+        self.ces[pos].mode = mode;
+        let ce_id = self.ce_id(pos);
+        if mode.is_busy() && !was_busy {
+            self.statfx.mark_busy(ce_id, self.now);
+        } else if !mode.is_busy() && was_busy {
+            self.statfx.mark_idle(ce_id, self.now);
+        }
+        if self.is_lead(pos) {
+            let cluster = self.cluster_of(pos);
+            let bucket = self.bucket_for(cluster, mode);
+            self.set_lead_bucket(cluster, bucket);
+        }
+    }
+
+    /// Maps a lead CE's mode to its Figure 4 bucket.
+    fn bucket_for(&self, cluster: usize, mode: CeMode) -> Option<UserBucket> {
+        let kind = self.tasks[cluster].cur.as_ref().map(|l| l.kind);
+        match mode {
+            CeMode::Idle | CeMode::Stopped => None,
+            CeMode::SerialCompute | CeMode::SerialAccess { .. } | CeMode::TerminateWrite => {
+                Some(UserBucket::Serial)
+            }
+            CeMode::SetupWrite { .. } => Some(UserBucket::LoopSetup),
+            CeMode::FinishSpin => Some(UserBucket::BarrierWait),
+            CeMode::WaitWork | CeMode::JoinAdd | CeMode::JoinRead | CeMode::DetachAdd => {
+                Some(UserBucket::HelperWait)
+            }
+            CeMode::ClaimOuter => Some(UserBucket::PickupSdoall),
+            CeMode::ClaimFlat => Some(UserBucket::PickupXdoall),
+            CeMode::Body { .. } | CeMode::BodyFaultWait { .. } => {
+                match kind {
+                    Some(cedar_rtl::LoopKind::Cluster) | Some(cedar_rtl::LoopKind::Doacross) => {
+                        Some(UserBucket::ClusterLoop)
+                    }
+                    _ => Some(UserBucket::IterExec),
+                }
+            }
+            CeMode::CbusWait => Some(UserBucket::ClusterSync),
+            CeMode::DoacrossSetup
+            | CeMode::DoacrossTicket { .. }
+            | CeMode::DoacrossRegion { .. }
+            | CeMode::DoacrossExit { .. } => Some(UserBucket::ClusterLoop),
+        }
+    }
+
+    /// Charges the elapsed span to the cluster's current lead bucket and
+    /// switches to `bucket`.
+    pub(crate) fn set_lead_bucket(&mut self, cluster: usize, bucket: Option<UserBucket>) {
+        let now = self.now;
+        let task = &mut self.tasks[cluster];
+        if let Some(old) = task.lead_bucket {
+            let elapsed = now - task.lead_since;
+            let overlap_used = task.lead_overlap.min(elapsed);
+            task.lead_overlap -= overlap_used;
+            self.breakdowns[cluster].charge(old, elapsed - overlap_used);
+        } else {
+            // No bucket was accruing; drop any overlap accrued while
+            // unattributed.
+            task.lead_overlap = Cycles::ZERO;
+        }
+        task.lead_bucket = bucket;
+        task.lead_since = now;
+    }
+
+    // ---- primitive activity starts ----------------------------------
+
+    /// Starts a pure-compute activity on CE `pos` and schedules its
+    /// completion.
+    pub(crate) fn start_compute(&mut self, pos: usize, dur: Cycles) {
+        let gen = self.ces[pos].engine.begin(&Activity::Compute(dur), self.now);
+        self.queue.schedule(self.now + dur, Ev::CeDone { ce: pos, gen });
+    }
+
+    /// Starts a compute delay after which `word` is issued (spin periods
+    /// and lock backoff).
+    pub(crate) fn start_delayed_word(
+        &mut self,
+        pos: usize,
+        delay: Cycles,
+        addr: GlobalAddr,
+        op: MemOp,
+    ) {
+        if delay == Cycles::ZERO {
+            self.start_word(pos, addr, op);
+        } else {
+            self.ces[pos].pending_word = Some((addr, op));
+            self.start_compute(pos, delay);
+        }
+    }
+
+    /// Issues a single-word global-memory operation from CE `pos`.
+    pub(crate) fn start_word(&mut self, pos: usize, addr: GlobalAddr, op: MemOp) {
+        self.ces[pos]
+            .engine
+            .begin(&Activity::Word { addr, op }, self.now);
+        let ce_id = self.ce_id(pos);
+        let mut out: Outbox<GmemEvent> = Outbox::new();
+        let id = self.gmem.inject(ce_id, addr, op, self.now, &mut out);
+        self.req_owner.insert(id, pos);
+        for (delay, ev) in out.drain() {
+            self.queue.schedule(self.now + delay, Ev::Gmem(ev));
+        }
+    }
+
+    /// Issues a vector burst from CE `pos`, pipelined one word per cycle.
+    pub(crate) fn start_vector(&mut self, pos: usize, access: &VectorAccess) {
+        assert!(access.words > 0, "empty vector access");
+        self.ces[pos]
+            .engine
+            .begin(&Activity::Vector(*access), self.now);
+        let ce_id = self.ce_id(pos);
+        let mut out: Outbox<GmemEvent> = Outbox::new();
+        for (k, addr) in access.addresses().enumerate() {
+            let id = self.gmem.inject(ce_id, addr, access.op, self.now, &mut out);
+            self.req_owner.insert(id, pos);
+            // Re-anchor this word's events k cycles later (issue pipeline).
+            for (delay, ev) in out.drain() {
+                self.queue
+                    .schedule(self.now + delay + Cycles(k as u64), Ev::Gmem(ev));
+            }
+        }
+    }
+
+    /// Posts a trace event for CE `pos`.
+    pub(crate) fn post(&mut self, id: TraceEventId, pos: usize, arg: u32) {
+        let ce = self.ce_id(pos);
+        self.hpm.post(id, ce, arg, self.now);
+    }
+
+    // ---- intra-cluster barrier ---------------------------------------
+
+    /// CE `pos` arrives at its cluster's concurrency-bus barrier.
+    pub(crate) fn cbus_arrive(&mut self, pos: usize) {
+        let cluster = self.cluster_of(pos);
+        self.set_mode(pos, CeMode::CbusWait);
+        let episode = self.tasks[cluster].barrier_episode;
+        if let Some(release_at) = self.tasks[cluster].barrier.arrive(self.now) {
+            self.queue.schedule(
+                release_at,
+                Ev::CbusRelease { cluster, episode },
+            );
+        }
+    }
+
+    // ---- event loop ---------------------------------------------------
+
+    /// Runs the program to completion and returns the measured results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event bound (`SimConfig::max_events`) is exceeded —
+    /// a deadlock guard for malformed workloads.
+    pub fn run(mut self) -> RunResult {
+        self.startup();
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.cfg.max_events,
+                "event bound exceeded at {} — likely deadlock or runaway workload",
+                self.now
+            );
+            self.dispatch(ev);
+            if self.all_stopped() {
+                break;
+            }
+        }
+        assert!(
+            self.finished_at.is_some(),
+            "event queue drained before the main task finished (deadlock)"
+        );
+        self.into_result()
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Gmem(g) => {
+                let mut out: Outbox<GmemEvent> = Outbox::new();
+                let delivered = self.gmem.handle(g, self.now, &mut out);
+                for (delay, e) in out.drain() {
+                    self.queue.schedule(self.now + delay, Ev::Gmem(e));
+                }
+                if let Some(cedar_hw::GmemOutput::Deliver(resp)) = delivered {
+                    self.on_response(resp);
+                }
+            }
+            Ev::CeDone { ce, gen } => {
+                if self.ces[ce].engine.is_current(gen) {
+                    self.on_activity_complete(ce, 0);
+                }
+            }
+            Ev::CeResume { ce, gen: _ } => self.on_resume(ce),
+            Ev::CbusRelease { cluster, episode } => {
+                if self.tasks[cluster].barrier_episode == episode {
+                    self.tasks[cluster].barrier_episode += 1;
+                    self.on_cbus_release(cluster);
+                }
+            }
+            Ev::Daemon { cluster } => self.on_daemon(cluster),
+            Ev::Ast { cluster } => self.on_ast(cluster),
+            Ev::Background { cluster } => self.on_background(cluster),
+        }
+    }
+
+    fn on_response(&mut self, resp: cedar_hw::MemResponse) {
+        let pos = match self.req_owner.remove(&resp.id) {
+            Some(p) => p,
+            None => return, // response for a stopped task's stray request
+        };
+        if self.ces[pos].engine.on_response(resp.value) {
+            self.on_activity_complete(pos, resp.value);
+        }
+    }
+
+    /// Common completion path: finish the engine activity, serialize any
+    /// pending OS penalty, then advance the protocol. The engine's
+    /// recorded last response value is authoritative for word/vector
+    /// activities; compute completions do not consume it.
+    fn on_activity_complete(&mut self, pos: usize, value: u64) {
+        let _ = self.ces[pos].engine.finish(self.now);
+        let penalty = std::mem::take(&mut self.ces[pos].pending_penalty);
+        if penalty > Cycles::ZERO {
+            self.ces[pos].stashed_value = value;
+            self.ces[pos].in_penalty = true;
+            self.queue
+                .schedule(self.now + penalty, Ev::CeResume { ce: pos, gen: 0 });
+        } else {
+            self.proceed(pos, value);
+        }
+    }
+
+    /// Issues a deferred word (spin/backoff pattern) or advances the
+    /// protocol.
+    fn proceed(&mut self, pos: usize, value: u64) {
+        if let Some((addr, op)) = self.ces[pos].pending_word.take() {
+            self.start_word(pos, addr, op);
+        } else {
+            self.advance(pos, value);
+        }
+    }
+
+    fn on_resume(&mut self, pos: usize) {
+        if self.ces[pos].in_penalty {
+            self.ces[pos].in_penalty = false;
+            let v = self.ces[pos].stashed_value;
+            self.proceed(pos, v);
+        } else if let CeMode::BodyFaultWait { iter, stage } = self.ces[pos].mode {
+            // Fault serviced: proceed with the access that faulted.
+            self.set_mode(pos, CeMode::Body { iter, stage });
+            self.start_body_stage(pos, iter, stage);
+        }
+    }
+
+    /// Assembles the run's measurements.
+    fn into_result(mut self) -> RunResult {
+        let ct = self.finished_at.expect("run finished");
+        self.now = ct;
+        // Flush the lead buckets at completion time.
+        for cluster in 0..self.tasks.len() {
+            self.set_lead_bucket(cluster, None);
+        }
+        let n = self.tasks.len();
+        let utilization = (0..n)
+            .map(|c| self.qmon.cluster(ClusterId(c as u8)))
+            .collect();
+        let concurrency = (0..n)
+            .map(|c| self.statfx.cluster_average(ClusterId(c as u8), ct))
+            .collect();
+        RunResult {
+            app: self.app_name,
+            configuration: self.cfg.configuration(),
+            completion_time: ct,
+            breakdowns: self.breakdowns,
+            utilization,
+            os: self.os_acct,
+            concurrency,
+            gmem: self.gmem.stats(),
+            background_stolen: self.background_stolen,
+            bodies: self.bodies_executed,
+            faults: (self.vm.seq_faults(), self.vm.conc_faults()),
+            events: self.events_processed,
+            trace: if self.cfg.keep_trace {
+                Some(self.hpm.into_events())
+            } else {
+                None
+            },
+        }
+    }
+
+    fn all_stopped(&self) -> bool {
+        if self.finished_at.is_none() {
+            return false;
+        }
+        (1..self.tasks.len()).all(|c| self.ces[self.lead_of(c)].mode == CeMode::Stopped)
+    }
+}

@@ -1,0 +1,196 @@
+//! Global-memory and network contention overhead (§7, Table 4).
+//!
+//! The estimate is deliberately indirect, exactly as the paper computes
+//! it: the 1-processor run gives the minimum possible total processing
+//! time for the parallel-loop code (`T1_mc` for main-cluster-only loops,
+//! `T1_sx` for the spread loops); dividing by the measured parallel-loop
+//! concurrency gives the *ideal* parallel-loop time; the excess of the
+//! *actual* parallel-loop time over the ideal, as a fraction of
+//! completion time, is the contention overhead:
+//!
+//! ```text
+//! T_p_ideal  = T1_mc / par_concurr_main + T1_sx / par_concurr_total
+//! Ov_cont    = (T_p_actual − T_p_ideal) / CT × 100
+//! ```
+
+use cedar_sim::Cycles;
+use cedar_trace::UserBucket;
+
+use crate::methodology::conc::{parallel_loop_concurrency, total_parallel_concurrency};
+use crate::result::RunResult;
+
+/// One Table 4 cell: the contention estimate for a multiprocessor run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContentionEstimate {
+    /// Measured parallel-loop execution time on the main task.
+    pub t_p_actual: Cycles,
+    /// Ideal parallel-loop time derived from the 1-processor run.
+    pub t_p_ideal: Cycles,
+    /// `Ov_cont` as a percentage of completion time.
+    pub overhead_pct: f64,
+}
+
+/// Main-cluster-only loop time of a run (the `T1_mc`/actual `mc` term).
+fn mc_time(run: &RunResult) -> Cycles {
+    run.main_breakdown().get(UserBucket::ClusterLoop)
+}
+
+/// Spread-loop (s(x)doall) execution time of a run, xdoall pick-up
+/// included per footnote 4.
+fn sx_time(run: &RunResult) -> Cycles {
+    let b = run.main_breakdown();
+    b.get(UserBucket::IterExec) + b.get(UserBucket::PickupXdoall) + b.get(UserBucket::ClusterSync)
+}
+
+/// Estimates the contention overhead of `run` against the 1-processor
+/// `baseline` of the same application.
+///
+/// # Panics
+///
+/// Panics if the runs are for different applications.
+pub fn contention_overhead(baseline: &RunResult, run: &RunResult) -> ContentionEstimate {
+    assert_eq!(
+        baseline.app, run.app,
+        "baseline and run must be the same application"
+    );
+    let t1_mc = mc_time(baseline);
+    let t1_sx = sx_time(baseline);
+
+    let conc = parallel_loop_concurrency(run);
+    let par_main = conc[0].par_concurr.max(1.0);
+    let par_total = total_parallel_concurrency(&conc).max(1.0);
+
+    let t_p_ideal = Cycles((t1_mc.0 as f64 / par_main + t1_sx.0 as f64 / par_total).round() as u64);
+    let t_p_actual = mc_time(run) + sx_time(run);
+
+    let overhead_pct = (t_p_actual.0 as f64 - t_p_ideal.0 as f64)
+        / run.completion_time.0.max(1) as f64
+        * 100.0;
+    ContentionEstimate {
+        t_p_actual,
+        t_p_ideal,
+        overhead_pct,
+    }
+}
+
+/// The actual parallel-loop time of the 1-processor baseline itself
+/// (Table 4's first column).
+pub fn baseline_parallel_time(baseline: &RunResult) -> Cycles {
+    mc_time(baseline) + sx_time(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_hw::gmem::GmemStats;
+    use cedar_hw::Configuration;
+    use cedar_sim::stats::LatencyHistogram;
+    use cedar_trace::qmon::ClusterUtilization;
+    use cedar_trace::TaskBreakdown;
+    use cedar_xylem::OsAccounting;
+
+    fn run(
+        app: &'static str,
+        ct: u64,
+        iter: u64,
+        cluster_loop: u64,
+        clusters: usize,
+        avg: f64,
+    ) -> RunResult {
+        let mut breakdowns = Vec::new();
+        for c in 0..clusters {
+            let mut b = TaskBreakdown::new();
+            b.charge(UserBucket::IterExec, Cycles(iter));
+            if c == 0 {
+                b.charge(UserBucket::ClusterLoop, Cycles(cluster_loop));
+                b.charge(
+                    UserBucket::Serial,
+                    Cycles(ct.saturating_sub(iter + cluster_loop)),
+                );
+            }
+            breakdowns.push(b);
+        }
+        RunResult {
+            app,
+            configuration: Configuration::P8,
+            completion_time: Cycles(ct),
+            breakdowns,
+            utilization: vec![ClusterUtilization::default(); clusters],
+            os: OsAccounting::new(clusters as u8),
+            concurrency: vec![avg; clusters],
+            gmem: GmemStats {
+                packets: 0,
+                cluster_path_queued: Cycles::ZERO,
+                fwd_queued: Cycles::ZERO,
+                rev_queued: Cycles::ZERO,
+                module_queued: Cycles::ZERO,
+                module_requests: vec![],
+                module_sync_requests: vec![],
+                latency: LatencyHistogram::new(4),
+                min_round_trip: Cycles(36),
+            },
+            background_stolen: Cycles::ZERO,
+            bodies: 0,
+            faults: (0, 0),
+            events: 0,
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn no_contention_when_actual_equals_ideal() {
+        // 1p: 8000 cycles of loop work. 8p run: 1000 cycles with pf such
+        // that par_concurr comes out at exactly 8.
+        let base = run("A", 10_000, 8_000, 0, 1, 1.0);
+        // pf = 1000/1250 = 0.8; avg = (1-pf) + pf*8 = 6.6
+        let multi = run("A", 1_250, 1_000, 0, 1, 6.6);
+        let est = contention_overhead(&base, &multi);
+        assert_eq!(est.t_p_ideal, Cycles(1_000));
+        assert!(est.overhead_pct.abs() < 1e-6);
+    }
+
+    #[test]
+    fn slower_actual_shows_positive_overhead() {
+        let base = run("A", 10_000, 8_000, 0, 1, 1.0);
+        // Same derived concurrency, but actual loop time 25% above ideal.
+        // pf = 1250/2000; avg = (1-pf)+pf*8
+        let pf: f64 = 1250.0 / 2000.0;
+        let multi = run("A", 2_000, 1_250, 0, 1, (1.0 - pf) + pf * 8.0);
+        let est = contention_overhead(&base, &multi);
+        assert_eq!(est.t_p_ideal, Cycles(1_000));
+        assert_eq!(est.t_p_actual, Cycles(1_250));
+        assert!((est.overhead_pct - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_parallel_time_sums_loop_buckets() {
+        let base = run("A", 10_000, 8_000, 500, 1, 1.0);
+        assert_eq!(baseline_parallel_time(&base), Cycles(8_500));
+    }
+
+    #[test]
+    #[should_panic(expected = "same application")]
+    fn mismatched_apps_panic() {
+        let a = run("A", 100, 10, 0, 1, 1.0);
+        let b = run("B", 100, 10, 0, 1, 1.0);
+        contention_overhead(&a, &b);
+    }
+
+    #[test]
+    fn multicluster_ideal_splits_mc_and_sx_terms() {
+        let base = run("A", 20_000, 16_000, 1_000, 1, 1.0);
+        // Two clusters, both fully parallel (pf = 1) at concurrency 8:
+        // main cluster splits its time between spread and cluster loops.
+        let mut multi = run("A", 3_000, 2_000, 1_000, 2, 8.0);
+        // Give the helper a fully-parallel timeline too.
+        multi.breakdowns[1] = {
+            let mut b = TaskBreakdown::new();
+            b.charge(UserBucket::IterExec, Cycles(3_000));
+            b
+        };
+        let est = contention_overhead(&base, &multi);
+        // par_main = par_helper = 8, total = 16:
+        // ideal = 1000/8 + 16000/16 = 125 + 1000.
+        assert_eq!(est.t_p_ideal, Cycles(1_125));
+    }
+}

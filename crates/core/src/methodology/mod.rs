@@ -1,0 +1,7 @@
+//! The paper's analysis methodology (§7 and Table 3/Table 4 machinery).
+
+pub mod conc;
+pub mod contention;
+
+pub use conc::{parallel_loop_concurrency, ClusterConcurrency};
+pub use contention::{contention_overhead, ContentionEstimate};

@@ -1,0 +1,97 @@
+//! Running the full measurement campaign: five applications × five
+//! configurations, as the paper's tables require.
+
+use std::collections::BTreeMap;
+
+use cedar_apps::AppSpec;
+use cedar_hw::Configuration;
+
+use crate::config::SimConfig;
+use crate::machine::Machine;
+use crate::result::RunResult;
+
+/// All configuration runs of one application.
+#[derive(Debug)]
+pub struct AppResults {
+    /// Application name.
+    pub app: &'static str,
+    /// One result per configuration, in `Configuration::ALL` order.
+    pub runs: Vec<RunResult>,
+}
+
+impl AppResults {
+    /// The result for `configuration`.
+    pub fn run(&self, configuration: Configuration) -> &RunResult {
+        self.runs
+            .iter()
+            .find(|r| r.configuration == configuration)
+            .expect("all configurations were run")
+    }
+
+    /// The 1-processor baseline.
+    pub fn baseline(&self) -> &RunResult {
+        self.run(Configuration::P1)
+    }
+}
+
+/// Results of the whole campaign.
+#[derive(Debug)]
+pub struct SuiteResult {
+    /// Per-application results, in suite order.
+    pub apps: Vec<AppResults>,
+}
+
+impl SuiteResult {
+    /// Runs `apps` on every configuration in `configurations`, using one
+    /// OS thread per (app, configuration) pair.
+    pub fn measure(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
+        let mut jobs: Vec<(usize, Configuration, AppSpec)> = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            for &c in configurations {
+                jobs.push((i, c, app.clone()));
+            }
+        }
+        let mut results: BTreeMap<(usize, usize), RunResult> = std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|(i, c, app)| {
+                    s.spawn(move || {
+                        let cfg = SimConfig::cedar(c);
+                        let run = Machine::new(&app, cfg).run();
+                        let ci = Configuration::ALL.iter().position(|x| *x == c).unwrap();
+                        ((i, ci), run)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("run panicked"))
+                .collect()
+        });
+        let apps_out = apps
+            .iter()
+            .enumerate()
+            .map(|(i, app)| AppResults {
+                app: app.name,
+                runs: (0..Configuration::ALL.len())
+                    .filter_map(|ci| results.remove(&(i, ci)))
+                    .collect(),
+            })
+            .collect();
+        SuiteResult { apps: apps_out }
+    }
+
+    /// Runs the full campaign: the five Perfect applications on all five
+    /// configurations.
+    pub fn full_campaign() -> SuiteResult {
+        SuiteResult::measure(&cedar_apps::perfect_suite(), &Configuration::ALL)
+    }
+
+    /// Looks up one application's results by name.
+    pub fn app(&self, name: &str) -> &AppResults {
+        self.apps
+            .iter()
+            .find(|a| a.app.eq_ignore_ascii_case(name))
+            .expect("application was measured")
+    }
+}

@@ -1,0 +1,222 @@
+//! Cluster shared data cache model.
+//!
+//! Each Cedar cluster has a 4-way interleaved shared data cache (§2).
+//! Because the cache is *shared* by the cluster's CEs, Cedar sidesteps
+//! false sharing and coherence traffic; what remains are capacity and
+//! conflict misses, which the paper explicitly does **not** characterize
+//! (§3.2). The model is therefore used for workload realism (folding an
+//! effective miss penalty into local work) and for the ablation examples,
+//! not for the headline tables.
+
+use cedar_sim::Cycles;
+
+use crate::addr::GlobalAddr;
+
+/// Configuration of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Miss penalty charged to local work.
+    pub miss_penalty: Cycles,
+}
+
+impl CacheConfig {
+    /// A cluster cache roughly shaped like the Alliant FX/8's 128 KB
+    /// shared data cache: 512 sets × 4 ways × 64 B lines.
+    pub fn cedar_cluster() -> Self {
+        CacheConfig {
+            sets: 512,
+            ways: 4,
+            line_bytes: 64,
+            miss_penalty: Cycles(10),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.sets as u64 * self.ways as u64 * self.line_bytes
+    }
+}
+
+/// A set-associative LRU cache.
+///
+/// # Example
+///
+/// ```
+/// use cedar_hw::cache::{Cache, CacheConfig};
+/// use cedar_hw::GlobalAddr;
+///
+/// let mut c = Cache::new(CacheConfig::cedar_cluster());
+/// assert!(!c.access(GlobalAddr(0x1000))); // cold miss
+/// assert!(c.access(GlobalAddr(0x1008)));  // same line: hit
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set]` holds up to `ways` tags in LRU order (front = MRU).
+    tags: Vec<Vec<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` are not powers of two, or if
+    /// `ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(cfg.ways > 0, "cache must have at least one way");
+        Cache {
+            tags: vec![Vec::with_capacity(cfg.ways); cfg.sets],
+            cfg,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Performs one access; returns `true` on hit, updating LRU state and
+    /// filling the line on miss.
+    pub fn access(&mut self, addr: GlobalAddr) -> bool {
+        let line = addr.0 / self.cfg.line_bytes;
+        let set = (line as usize) & (self.cfg.sets - 1);
+        let tag = line >> self.cfg.sets.trailing_zeros();
+        let ways = &mut self.tags[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            self.hits += 1;
+            true
+        } else {
+            if ways.len() == self.cfg.ways {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; zero before any access.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Miss-penalty cycles accumulated so far.
+    pub fn penalty(&self) -> Cycles {
+        self.cfg.miss_penalty * self.misses
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            line_bytes: 64,
+            miss_penalty: Cycles(10),
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(GlobalAddr(0)));
+        assert!(c.access(GlobalAddr(0)));
+        assert!(c.access(GlobalAddr(63)));
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Three lines mapping to set 0: 0, 4*64=256, 8*64=512.
+        c.access(GlobalAddr(0));
+        c.access(GlobalAddr(256));
+        c.access(GlobalAddr(512)); // evicts line 0 (LRU)
+        assert!(!c.access(GlobalAddr(0)), "line 0 was evicted");
+        assert!(c.access(GlobalAddr(512)));
+    }
+
+    #[test]
+    fn access_refreshes_lru_order() {
+        let mut c = small();
+        c.access(GlobalAddr(0));
+        c.access(GlobalAddr(256));
+        c.access(GlobalAddr(0)); // refresh line 0 to MRU
+        c.access(GlobalAddr(512)); // should evict 256, not 0
+        assert!(c.access(GlobalAddr(0)));
+        assert!(!c.access(GlobalAddr(256)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        for s in 0..4u64 {
+            c.access(GlobalAddr(s * 64));
+        }
+        for s in 0..4u64 {
+            assert!(c.access(GlobalAddr(s * 64)));
+        }
+    }
+
+    #[test]
+    fn penalty_and_ratio() {
+        let mut c = small();
+        c.access(GlobalAddr(0));
+        c.access(GlobalAddr(0));
+        assert_eq!(c.penalty(), Cycles(10));
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cedar_capacity_is_128_kib() {
+        assert_eq!(CacheConfig::cedar_cluster().capacity(), 128 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 64,
+            miss_penalty: Cycles(1),
+        });
+    }
+}

@@ -1,0 +1,173 @@
+//! Hardware configuration and latency parameters.
+
+use cedar_sim::Cycles;
+
+use crate::topology::Configuration;
+
+/// Interconnection network and global-memory timing parameters.
+///
+/// Defaults model the Cedar network described in §2 and [9, 10]: two
+/// stages of 8×8 crossbars in each direction, 32 double-word interleaved
+/// memory modules with a 4-cycle module busy time (§7: "the global memory
+/// takes 4 processor clock cycles to process a request").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of independent global-memory modules.
+    pub modules: u16,
+    /// Crossbar radix (ports per switch).
+    pub radix: u16,
+    /// Switch traversal latency per stage, excluding queueing.
+    pub switch_latency: Cycles,
+    /// Output-port occupancy per packet (inverse bandwidth; 1 packet per
+    /// cycle per port at the default).
+    pub port_occupancy: Cycles,
+    /// Module busy time per request (serialization at the module).
+    pub module_service: Cycles,
+    /// DRAM access component of module latency (pipelined; does not
+    /// occupy the module for followers).
+    pub module_access: Cycles,
+    /// Global Interface injection latency (CE → first stage).
+    pub gi_inject: Cycles,
+    /// Per-cluster injection ports: the modified Alliant FX/8's CEs share
+    /// a cluster-level path to their Global Interfaces, which bounds a
+    /// cluster's aggregate global-memory issue bandwidth to this many
+    /// words per cycle. Zero disables the shared-path model. This is why
+    /// FLO52's contention overhead peaks on the *single-cluster*
+    /// configurations (Table 4: 27% at 8 processors).
+    pub cluster_inject_ports: u16,
+    /// Delivery latency (last reverse stage → CE).
+    pub delivery: Cycles,
+}
+
+impl NetConfig {
+    /// The Cedar network as built (32 modules, 8×8 switches, two stages).
+    pub fn cedar() -> Self {
+        NetConfig {
+            modules: 32,
+            radix: 8,
+            switch_latency: Cycles(4),
+            port_occupancy: Cycles(1),
+            module_service: Cycles(4),
+            module_access: Cycles(8),
+            gi_inject: Cycles(2),
+            delivery: Cycles(2),
+            cluster_inject_ports: 2, // 2 words/cycle per cluster
+        }
+    }
+
+    /// Minimum (contention-free) round-trip latency for one word:
+    /// cluster path + inject + 4 switch traversals (each paying port
+    /// occupancy plus the stage latency) + module service + access +
+    /// delivery.
+    pub fn min_round_trip(&self) -> Cycles {
+        let path = if self.cluster_inject_ports > 0 {
+            Cycles(1)
+        } else {
+            Cycles::ZERO
+        };
+        path + self.gi_inject
+            + (self.switch_latency + self.port_occupancy) * 4
+            + self.module_service
+            + self.module_access
+            + self.delivery
+    }
+
+    /// Number of switches per stage needed to connect `inputs` endpoints
+    /// with this radix.
+    pub fn switches_per_stage(&self, inputs: u16) -> u16 {
+        inputs.div_ceil(self.radix)
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::cedar()
+    }
+}
+
+/// Cluster-local hardware timing parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Concurrency-bus cost to dispatch a `cdoall` across the cluster's
+    /// CEs (the bus makes this fast; §2).
+    pub cbus_dispatch: Cycles,
+    /// Concurrency-bus cost for an intra-cluster barrier once every CE
+    /// has arrived.
+    pub cbus_barrier: Cycles,
+    /// Cache/local-memory effective access time folded into compute
+    /// costs (documented knob; local work is charged as compute cycles).
+    pub local_access: Cycles,
+}
+
+impl ClusterConfig {
+    /// Alliant FX/8-class defaults.
+    pub fn cedar() -> Self {
+        ClusterConfig {
+            cbus_dispatch: Cycles(6),
+            cbus_barrier: Cycles(8),
+            local_access: Cycles(1),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig::cedar()
+    }
+}
+
+/// Complete hardware description for one simulated machine instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HwConfig {
+    /// Which processor configuration is active (1/4/8/16/32).
+    pub configuration: Configuration,
+    /// Network and memory parameters (identical across configurations —
+    /// the paper's methodology depends on this, §3.2).
+    pub net: NetConfig,
+    /// Cluster-local parameters.
+    pub cluster: ClusterConfig,
+}
+
+impl HwConfig {
+    /// The machine the paper measured, at a given processor count.
+    pub fn cedar(configuration: Configuration) -> Self {
+        HwConfig {
+            configuration,
+            net: NetConfig::cedar(),
+            cluster: ClusterConfig::cedar(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_round_trip_is_sum_of_stages() {
+        let n = NetConfig::cedar();
+        assert_eq!(n.min_round_trip(), Cycles(1 + 2 + (4 + 1) * 4 + 4 + 8 + 2));
+    }
+
+    #[test]
+    fn cedar_has_32_modules_and_radix_8() {
+        let n = NetConfig::cedar();
+        assert_eq!(n.modules, 32);
+        assert_eq!(n.radix, 8);
+        assert_eq!(n.switches_per_stage(32), 4);
+    }
+
+    #[test]
+    fn all_configurations_share_network_parameters() {
+        let p1 = HwConfig::cedar(Configuration::P1);
+        let p32 = HwConfig::cedar(Configuration::P32);
+        assert_eq!(p1.net, p32.net);
+    }
+
+    #[test]
+    fn switches_per_stage_rounds_up() {
+        let n = NetConfig::cedar();
+        assert_eq!(n.switches_per_stage(9), 2);
+        assert_eq!(n.switches_per_stage(8), 1);
+    }
+}

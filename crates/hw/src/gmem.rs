@@ -1,0 +1,399 @@
+//! The complete global-memory system: forward network, memory modules and
+//! reverse network, composed as one event-driven component.
+
+use cedar_sim::stats::LatencyHistogram;
+use cedar_sim::{Cycles, Outbox, SimTime};
+
+use crate::switch::PortServer;
+
+use crate::addr::GlobalAddr;
+use crate::config::NetConfig;
+use crate::module::MemoryModule;
+use crate::net::DeltaNet;
+use crate::packet::{MemOp, MemRequest, MemResponse, RequestId};
+use crate::topology::{CeId, ModuleId};
+
+/// Internal events of the global-memory system. `cedar-core` wraps these
+/// in its master event enum and feeds them back into [`GlobalMemorySystem::handle`].
+#[derive(Debug, Clone, Copy)]
+pub enum GmemEvent {
+    /// Request packet arrives at its stage-1 (forward) switch.
+    FwdStage1(MemRequest),
+    /// Request packet arrives at its stage-2 (forward) switch.
+    FwdStage2(MemRequest),
+    /// Request packet arrives at its memory module.
+    AtModule(MemRequest),
+    /// Response packet arrives at its stage-1 (reverse) switch.
+    RevStage1(MemResponse),
+    /// Response packet arrives at its stage-2 (reverse) switch.
+    RevStage2(MemResponse),
+    /// Response packet reaches the requesting CE's Global Interface.
+    Delivered(MemResponse),
+}
+
+/// Output of one `handle` step: a response has reached its CE.
+#[derive(Debug, Clone, Copy)]
+pub enum GmemOutput {
+    /// Deliver `MemResponse` to `MemResponse::ce`.
+    Deliver(MemResponse),
+}
+
+/// Aggregate contention statistics for a run.
+#[derive(Debug, Clone)]
+pub struct GmemStats {
+    /// Packets injected into the forward network.
+    pub packets: u64,
+    /// Queueing delay at the shared per-cluster injection paths.
+    pub cluster_path_queued: Cycles,
+    /// Total queueing delay in forward-network switch ports.
+    pub fwd_queued: Cycles,
+    /// Total queueing delay in reverse-network switch ports.
+    pub rev_queued: Cycles,
+    /// Total queueing delay at memory modules.
+    pub module_queued: Cycles,
+    /// Per-module request counts (hot-spot detection).
+    pub module_requests: Vec<u64>,
+    /// Per-module synchronization-request counts.
+    pub module_sync_requests: Vec<u64>,
+    /// End-to-end round-trip latency distribution.
+    pub latency: LatencyHistogram,
+    /// Contention-free round-trip for comparison.
+    pub min_round_trip: Cycles,
+}
+
+impl GmemStats {
+    /// Total queueing delay anywhere in the memory system.
+    pub fn total_queued(&self) -> Cycles {
+        self.cluster_path_queued + self.fwd_queued + self.rev_queued + self.module_queued
+    }
+
+    /// Mean queueing delay per packet.
+    pub fn mean_queued_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_queued().0 as f64 / self.packets as f64
+        }
+    }
+}
+
+/// Forward network + 32 memory modules + reverse network.
+///
+/// Drive it with [`inject`](Self::inject) and route the emitted
+/// [`GmemEvent`]s back through [`handle`](Self::handle); when a request's
+/// round trip completes, `handle` returns [`GmemOutput::Deliver`].
+#[derive(Debug)]
+pub struct GlobalMemorySystem {
+    cfg: NetConfig,
+    forward: DeltaNet,
+    reverse: DeltaNet,
+    modules: Vec<MemoryModule>,
+    /// Shared per-cluster injection paths (round-robin over the ports).
+    cluster_paths: Vec<Vec<PortServer>>,
+    cluster_rr: Vec<usize>,
+    next_request: u64,
+    latency: LatencyHistogram,
+}
+
+impl GlobalMemorySystem {
+    /// Builds the memory system for `cfg`.
+    pub fn new(cfg: NetConfig) -> Self {
+        let modules = (0..cfg.modules)
+            .map(|_| MemoryModule::new(cfg.module_service, cfg.module_access))
+            .collect();
+        let n_clusters = (cfg.modules / 8).max(1) as usize;
+        GlobalMemorySystem {
+            forward: DeltaNet::new(&cfg),
+            reverse: DeltaNet::new(&cfg),
+            modules,
+            cluster_paths: (0..n_clusters)
+                .map(|_| (0..cfg.cluster_inject_ports).map(|_| PortServer::new()).collect())
+                .collect(),
+            cluster_rr: vec![0; n_clusters],
+            next_request: 0,
+            latency: LatencyHistogram::new(24),
+            cfg,
+        }
+    }
+
+    /// Network configuration in use.
+    pub fn config(&self) -> &NetConfig {
+        &self.cfg
+    }
+
+    /// Allocates a fresh request id.
+    pub fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId(self.next_request);
+        self.next_request += 1;
+        id
+    }
+
+    /// Injects a request from `ce` for `addr`/`op` at time `now`. Returns
+    /// the request id; the packet will surface later as
+    /// [`GmemOutput::Deliver`].
+    pub fn inject(
+        &mut self,
+        ce: CeId,
+        addr: GlobalAddr,
+        op: MemOp,
+        now: SimTime,
+        out: &mut Outbox<GmemEvent>,
+    ) -> RequestId {
+        let id = self.next_request_id();
+        let req = MemRequest {
+            id,
+            ce,
+            addr,
+            module: addr.module(self.cfg.modules),
+            op,
+            injected_at: now.0,
+        };
+        // The cluster's shared path to its Global Interfaces serializes
+        // the cluster's aggregate issue stream.
+        let path_delay = if self.cfg.cluster_inject_ports > 0 {
+            let cluster = (ce.0 / 8) as usize % self.cluster_paths.len();
+            let rr = self.cluster_rr[cluster];
+            self.cluster_rr[cluster] =
+                (rr + 1) % self.cfg.cluster_inject_ports as usize;
+            let through = self.cluster_paths[cluster][rr].accept(now, Cycles(1));
+            through - now
+        } else {
+            Cycles::ZERO
+        };
+        out.emit(path_delay + self.cfg.gi_inject, GmemEvent::FwdStage1(req));
+        id
+    }
+
+    /// Advances one packet one hop. Returns `Some(Deliver)` when a
+    /// response reaches its CE.
+    pub fn handle(
+        &mut self,
+        ev: GmemEvent,
+        now: SimTime,
+        out: &mut Outbox<GmemEvent>,
+    ) -> Option<GmemOutput> {
+        match ev {
+            GmemEvent::FwdStage1(req) => {
+                let arrive = self
+                    .forward
+                    .transit_stage1(self.fwd_src(req.ce), req.module.0, now);
+                out.emit(arrive - now, GmemEvent::FwdStage2(req));
+                None
+            }
+            GmemEvent::FwdStage2(req) => {
+                let arrive = self.forward.transit_stage2(req.module.0, now);
+                out.emit(arrive - now, GmemEvent::AtModule(req));
+                None
+            }
+            GmemEvent::AtModule(req) => {
+                let (ready, value) =
+                    self.modules[req.module.0 as usize].serve(req.addr.dword_index(), req.op, now);
+                let resp = MemResponse {
+                    id: req.id,
+                    ce: req.ce,
+                    value,
+                    module: req.module,
+                    injected_at: req.injected_at,
+                };
+                out.emit(ready - now, GmemEvent::RevStage1(resp));
+                None
+            }
+            GmemEvent::RevStage1(resp) => {
+                let arrive =
+                    self.reverse
+                        .transit_stage1(resp.module.0, self.rev_dst(resp.ce), now);
+                out.emit(arrive - now, GmemEvent::RevStage2(resp));
+                None
+            }
+            GmemEvent::RevStage2(resp) => {
+                let arrive = self.reverse.transit_stage2(self.rev_dst(resp.ce), now);
+                out.emit(arrive - now + self.cfg.delivery, GmemEvent::Delivered(resp));
+                None
+            }
+            GmemEvent::Delivered(resp) => {
+                self.latency
+                    .record(Cycles(now.0.saturating_sub(resp.injected_at)));
+                Some(GmemOutput::Deliver(resp))
+            }
+        }
+    }
+
+    /// Maps a CE to its forward-network input endpoint.
+    ///
+    /// CE global ids already match the 32-endpoint numbering: each CE has
+    /// its own Global Interface into the network (§2).
+    fn fwd_src(&self, ce: CeId) -> u16 {
+        ce.0 % self.forward.geometry().endpoints()
+    }
+
+    /// Maps a CE to its reverse-network output endpoint.
+    fn rev_dst(&self, ce: CeId) -> u16 {
+        ce.0 % self.reverse.geometry().endpoints()
+    }
+
+    /// Total queueing delay at the shared per-cluster injection paths.
+    pub fn cluster_path_queued(&self) -> Cycles {
+        self.cluster_paths
+            .iter()
+            .flatten()
+            .map(PortServer::queued)
+            .sum()
+    }
+
+    /// Contention statistics accumulated so far.
+    pub fn stats(&self) -> GmemStats {
+        GmemStats {
+            packets: self.forward.packets(),
+            cluster_path_queued: self.cluster_path_queued(),
+            fwd_queued: self.forward.total_queued(),
+            rev_queued: self.reverse.total_queued(),
+            module_queued: self.modules.iter().map(MemoryModule::queued).sum(),
+            module_requests: self.modules.iter().map(MemoryModule::requests).collect(),
+            module_sync_requests: self
+                .modules
+                .iter()
+                .map(MemoryModule::sync_requests)
+                .collect(),
+            latency: self.latency.clone(),
+            min_round_trip: self.cfg.min_round_trip(),
+        }
+    }
+
+    /// Peeks at a stored global-memory word (tests/debugging only).
+    pub fn peek(&self, addr: GlobalAddr) -> u64 {
+        let module = addr.module(self.cfg.modules);
+        self.modules[module.0 as usize].peek(addr.dword_index())
+    }
+
+    /// The module an address maps to, under this configuration.
+    pub fn module_of(&self, addr: GlobalAddr) -> ModuleId {
+        addr.module(self.cfg.modules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_sim::EventQueue;
+
+    /// Runs the memory system to quiescence, returning delivered responses
+    /// with their delivery times.
+    fn run_to_completion(
+        sys: &mut GlobalMemorySystem,
+        injections: Vec<(CeId, GlobalAddr, MemOp, SimTime)>,
+    ) -> Vec<(SimTime, MemResponse)> {
+        let mut q = EventQueue::new();
+        let mut out = Outbox::new();
+        for (ce, addr, op, at) in injections {
+            sys.inject(ce, addr, op, at, &mut out);
+            out.flush_into(at, &mut q);
+        }
+        let mut delivered = Vec::new();
+        while let Some((now, ev)) = q.pop() {
+            if let Some(GmemOutput::Deliver(resp)) = sys.handle(ev, now, &mut out) {
+                delivered.push((now, resp));
+            }
+            out.flush_into(now, &mut q);
+        }
+        delivered
+    }
+
+    #[test]
+    fn single_request_takes_min_round_trip() {
+        let cfg = NetConfig::cedar();
+        let min = cfg.min_round_trip();
+        let mut sys = GlobalMemorySystem::new(cfg);
+        let done = run_to_completion(
+            &mut sys,
+            vec![(CeId(0), GlobalAddr(0x80), MemOp::Read, Cycles(0))],
+        );
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].0, min);
+    }
+
+    #[test]
+    fn contention_delays_second_request_to_same_module() {
+        let cfg = NetConfig::cedar();
+        let min = cfg.min_round_trip();
+        let mut sys = GlobalMemorySystem::new(cfg);
+        // Two CEs on different clusters target the same address at t=0:
+        // no shared switch on stage 1, but they serialize at stage 2 and
+        // at the module.
+        let done = run_to_completion(
+            &mut sys,
+            vec![
+                (CeId(0), GlobalAddr(0x40), MemOp::Read, Cycles(0)),
+                (CeId(8), GlobalAddr(0x40), MemOp::Read, Cycles(0)),
+            ],
+        );
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, min);
+        assert!(done[1].0 > min, "second request must queue");
+        assert!(sys.stats().total_queued() > Cycles::ZERO);
+    }
+
+    #[test]
+    fn spread_requests_do_not_interfere() {
+        let cfg = NetConfig::cedar();
+        let min = cfg.min_round_trip();
+        let mut sys = GlobalMemorySystem::new(cfg);
+        // 4 CEs on 4 different clusters to 4 modules in different groups
+        // and different parallel links: fully parallel.
+        let done = run_to_completion(
+            &mut sys,
+            vec![
+                (CeId(0), GlobalAddr(0), MemOp::Read, Cycles(0)),
+                (CeId(8), GlobalAddr(8 * 9), MemOp::Read, Cycles(0)),
+                (CeId(16), GlobalAddr(8 * 18), MemOp::Read, Cycles(0)),
+                (CeId(24), GlobalAddr(8 * 27), MemOp::Read, Cycles(0)),
+            ],
+        );
+        assert!(done.iter().all(|(t, _)| *t == min));
+    }
+
+    #[test]
+    fn tas_round_trip_carries_lock_semantics() {
+        let mut sys = GlobalMemorySystem::new(NetConfig::cedar());
+        let lock = GlobalAddr(0x1000);
+        let done = run_to_completion(
+            &mut sys,
+            vec![
+                (CeId(0), lock, MemOp::TestAndSet, Cycles(0)),
+                (CeId(1), lock, MemOp::TestAndSet, Cycles(0)),
+            ],
+        );
+        let values: Vec<u64> = done.iter().map(|(_, r)| r.value).collect();
+        assert_eq!(values, vec![0, 1], "exactly one winner");
+        assert_eq!(sys.peek(lock), 1);
+    }
+
+    #[test]
+    fn responses_map_back_to_issuing_ce() {
+        let mut sys = GlobalMemorySystem::new(NetConfig::cedar());
+        let done = run_to_completion(
+            &mut sys,
+            vec![
+                (CeId(5), GlobalAddr(0x100), MemOp::Read, Cycles(0)),
+                (CeId(21), GlobalAddr(0x200), MemOp::Read, Cycles(0)),
+            ],
+        );
+        let ces: Vec<_> = done.iter().map(|(_, r)| r.ce).collect();
+        assert!(ces.contains(&CeId(5)) && ces.contains(&CeId(21)));
+    }
+
+    #[test]
+    fn stats_record_per_module_hot_spot() {
+        let mut sys = GlobalMemorySystem::new(NetConfig::cedar());
+        let hot = GlobalAddr(0x40);
+        let hot_module = sys.module_of(hot).0 as usize;
+        let injections = (0..16)
+            .map(|c| (CeId(c), hot, MemOp::TestAndSet, Cycles(0)))
+            .collect();
+        run_to_completion(&mut sys, injections);
+        let stats = sys.stats();
+        assert_eq!(stats.module_requests[hot_module], 16);
+        assert_eq!(stats.module_sync_requests[hot_module], 16);
+        assert_eq!(stats.packets, 16);
+        assert!(stats.mean_queued_per_packet() > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the hardware models against simple reference
+//! semantics.
+
+use cedar_hw::module::MemoryModule;
+use cedar_hw::switch::PortServer;
+use cedar_hw::{GlobalAddr, MemOp, VectorAccess};
+use cedar_sim::Cycles;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A memory-module op for generation.
+#[derive(Debug, Clone)]
+enum Op {
+    Read(u64),
+    Write(u64, u64),
+    Tas(u64),
+    Unset(u64),
+    FetchAdd(u64, i64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..8).prop_map(Op::Read),
+        (0u64..8, 0u64..100).prop_map(|(a, v)| Op::Write(a, v)),
+        (0u64..8).prop_map(Op::Tas),
+        (0u64..8).prop_map(Op::Unset),
+        (0u64..8, -3i64..4).prop_map(|(a, d)| Op::FetchAdd(a, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn module_matches_reference_semantics(ops in prop::collection::vec(arb_op(), 0..200)) {
+        let mut module = MemoryModule::new(Cycles(4), Cycles(8));
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        let mut now = Cycles(0);
+        for op in ops {
+            now += Cycles(1);
+            let (expected, memop, dword) = match op {
+                Op::Read(a) => (*reference.get(&a).unwrap_or(&0), MemOp::Read, a),
+                Op::Write(a, v) => {
+                    reference.insert(a, v);
+                    (0, MemOp::Write(v), a)
+                }
+                Op::Tas(a) => {
+                    let old = *reference.get(&a).unwrap_or(&0);
+                    reference.insert(a, 1);
+                    (old, MemOp::TestAndSet, a)
+                }
+                Op::Unset(a) => {
+                    reference.insert(a, 0);
+                    (0, MemOp::Unset, a)
+                }
+                Op::FetchAdd(a, d) => {
+                    let old = *reference.get(&a).unwrap_or(&0);
+                    reference.insert(a, old.wrapping_add_signed(d));
+                    (old, MemOp::FetchAdd(d), a)
+                }
+            };
+            let (_, value) = module.serve(dword, memop, now);
+            prop_assert_eq!(value, expected);
+        }
+        for (a, v) in reference {
+            prop_assert_eq!(module.peek(a), v);
+        }
+    }
+
+    #[test]
+    fn module_service_is_fcfs_and_work_conserving(
+        arrivals in prop::collection::vec(0u64..1000, 1..100)
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut module = MemoryModule::new(Cycles(4), Cycles(8));
+        let mut last_ready = Cycles(0);
+        for (i, &t) in sorted.iter().enumerate() {
+            let (ready, _) = module.serve(i as u64, MemOp::Read, Cycles(t));
+            // Responses come back in arrival order...
+            prop_assert!(ready >= last_ready);
+            // ...never earlier than the uncontended latency...
+            prop_assert!(ready >= Cycles(t + 12));
+            // ...and the server is work-conserving: busy time equals
+            // requests * service.
+            last_ready = ready;
+        }
+        prop_assert_eq!(module.busy(), Cycles(4 * sorted.len() as u64));
+    }
+
+    #[test]
+    fn port_server_departures_are_spaced_by_occupancy(
+        arrivals in prop::collection::vec(0u64..500, 1..100)
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut port = PortServer::new();
+        let mut last = Cycles(0);
+        for &t in &sorted {
+            let through = port.accept(Cycles(t), Cycles(1));
+            prop_assert!(through >= last + Cycles(1) || last == Cycles(0));
+            prop_assert!(through >= Cycles(t + 1));
+            last = through;
+        }
+        prop_assert_eq!(port.packets(), sorted.len() as u64);
+        prop_assert_eq!(port.busy(), Cycles(sorted.len() as u64));
+    }
+
+    #[test]
+    fn vector_addresses_stay_in_span(
+        words in 1u32..64,
+        stride in 1u64..16,
+        base in 0u64..4096,
+    ) {
+        let v = VectorAccess::read(GlobalAddr(base * 8), words, stride);
+        let addrs: Vec<_> = v.addresses().collect();
+        prop_assert_eq!(addrs.len(), words as usize);
+        prop_assert_eq!(addrs[0], v.base);
+        let last = addrs.last().unwrap();
+        prop_assert_eq!(last.0 - v.base.0 + 8, v.span_bytes());
+        // Distinct modules never exceed the word count or module count.
+        let touched = v.modules_touched(32);
+        prop_assert!(touched <= 32);
+        prop_assert!(touched <= words as usize);
+    }
+}

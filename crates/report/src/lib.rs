@@ -1,0 +1,27 @@
+//! # cedar-report — rendering the paper's tables and figures
+//!
+//! Formatting of [`cedar_core`] measurement campaigns into the exact
+//! table and figure layouts of the paper:
+//!
+//! * [`tables::table1`] — completion times, speedups and average
+//!   concurrency (Table 1);
+//! * [`figures::figure3`] — completion-time breakdown into
+//!   user/system/interrupt/spin per configuration (Figure 3 a–f);
+//! * [`tables::table2`] — detailed OS-activity overheads on the
+//!   4-cluster Cedar (Table 2);
+//! * [`figures::user_breakdown`] — per-task user-time breakdowns
+//!   (Figures 5–9);
+//! * [`tables::table3`] — average parallel-loop concurrency (Table 3);
+//! * [`tables::table4`] — global-memory and network contention overhead
+//!   (Table 4).
+//!
+//! [`table::TextTable`] is the generic aligned-text backend and
+//! [`csv`] provides machine-readable output for downstream plotting.
+
+pub mod csv;
+pub mod figures;
+pub mod paper;
+pub mod table;
+pub mod tables;
+
+pub use table::TextTable;

@@ -1,0 +1,201 @@
+//! The paper's tables, regenerated from a measurement campaign.
+
+use cedar_core::methodology::{
+    contention::baseline_parallel_time, contention_overhead, parallel_loop_concurrency,
+};
+use cedar_core::suite::SuiteResult;
+use cedar_hw::Configuration;
+use cedar_xylem::OsActivity;
+
+use crate::table::{fnum, TextTable};
+
+/// The configurations present in a campaign, in `Configuration::ALL`
+/// order (reduced campaigns render reduced tables).
+fn present(suite: &SuiteResult) -> Vec<Configuration> {
+    Configuration::ALL
+        .into_iter()
+        .filter(|c| {
+            suite
+                .apps
+                .first()
+                .is_some_and(|a| a.runs.iter().any(|r| r.configuration == *c))
+        })
+        .collect()
+}
+
+/// Table 1: completion times, speedups and average concurrency for every
+/// application on every configuration.
+pub fn table1(suite: &SuiteResult) -> String {
+    let configs = present(suite);
+    let mut header: Vec<String> = vec!["Program".into(), "".into()];
+    header.extend(configs.iter().map(|c| c.label().to_string()));
+    let mut t = TextTable::new(header);
+    for app in &suite.apps {
+        let base = app.baseline();
+        let mut ct_row = vec![app.app.to_string(), "CT (s)".into()];
+        let mut sp_row = vec!["".to_string(), "Speedup".into()];
+        let mut cc_row = vec!["".to_string(), "Concurr".into()];
+        for &c in &configs {
+            let r = app.run(c);
+            ct_row.push(fnum(r.ct_seconds(), 4));
+            sp_row.push(if c == Configuration::P1 {
+                "-".into()
+            } else {
+                fnum(r.speedup_over(base), 2)
+            });
+            cc_row.push(if c == Configuration::P1 {
+                "-".into()
+            } else {
+                fnum(r.total_concurrency(), 2)
+            });
+        }
+        t.row(ct_row);
+        t.row(sp_row);
+        t.row(cc_row);
+        t.separator();
+    }
+    format!("Table 1: CTs, Speedups and Average Concurrency\n{}", t.render())
+}
+
+/// Table 2: detailed OS-activity overheads on the 4-cluster Cedar for
+/// FLO52, ARC2D and MDG (seconds and percent of completion time).
+pub fn table2(suite: &SuiteResult) -> String {
+    let apps = ["FLO52", "ARC2D", "MDG"];
+    let mut header: Vec<String> = vec!["Overhead Category".into()];
+    for a in apps {
+        header.push(format!("{a} (s)"));
+        header.push("%".into());
+    }
+    let mut t = TextTable::new(header);
+    for activity in OsActivity::ALL {
+        if activity == OsActivity::KernelSpin {
+            continue; // reported via Figure 3's spin bar, as in the paper
+        }
+        let mut row = vec![activity.label().to_string()];
+        for a in apps {
+            let r = suite.app(a).run(Configuration::P32);
+            let cost = r.os_activity(activity);
+            row.push(fnum(cost.as_secs(), 4));
+            row.push(fnum(cost.fraction_of(r.completion_time) * 100.0, 2));
+        }
+        t.row(row);
+    }
+    format!(
+        "Table 2: Detailed Characterization of OS overheads (32 proc)\n{}",
+        t.render()
+    )
+}
+
+/// Table 3: average parallel-loop concurrency per task/cluster for every
+/// multiprocessor configuration.
+pub fn table3(suite: &SuiteResult) -> String {
+    let mut header: Vec<String> = vec!["Config".into(), "Task".into()];
+    header.extend(suite.apps.iter().map(|a| a.app.to_string()));
+    let mut t = TextTable::new(header);
+    for c in present(suite).into_iter().filter(|c| *c != Configuration::P1) {
+        let task_names: Vec<String> = match c.clusters() {
+            1 => vec!["Main".into()],
+            n => {
+                let mut v = vec!["Main".to_string()];
+                for h in 1..n {
+                    v.push(format!("helper{h}"));
+                }
+                v
+            }
+        };
+        for (ti, task) in task_names.iter().enumerate() {
+            let mut row = vec![
+                if ti == 0 { c.label().to_string() } else { String::new() },
+                task.clone(),
+            ];
+            for app in &suite.apps {
+                let cc = parallel_loop_concurrency(app.run(c));
+                row.push(fnum(cc[ti].par_concurr, 2));
+            }
+            t.row(row);
+        }
+        t.separator();
+    }
+    format!("Table 3: Average Parallel Loop Concurrency\n{}", t.render())
+}
+
+/// Table 4: actual and ideal parallel-loop times and the global-memory
+/// and network contention overhead.
+pub fn table4(suite: &SuiteResult) -> String {
+    let configs = present(suite);
+    let mut header: Vec<String> = vec!["Program".into(), "".into()];
+    header.extend(configs.iter().map(|c| c.label().to_string()));
+    let mut t = TextTable::new(header);
+    for app in &suite.apps {
+        let base = app.baseline();
+        let mut act = vec![app.app.to_string(), "Tp_actual (s)".into()];
+        let mut ideal = vec!["".to_string(), "Tp_ideal (s)".into()];
+        let mut ov = vec!["".to_string(), "Ov_cont (%)".into()];
+        for &c in &configs {
+            if c == Configuration::P1 {
+                act.push(fnum(baseline_parallel_time(base).as_secs(), 4));
+                ideal.push("-".into());
+                ov.push("-".into());
+            } else {
+                let est = contention_overhead(base, app.run(c));
+                act.push(fnum(est.t_p_actual.as_secs(), 4));
+                ideal.push(fnum(est.t_p_ideal.as_secs(), 4));
+                ov.push(fnum(est.overhead_pct, 1));
+            }
+        }
+        t.row(act);
+        t.row(ideal);
+        t.row(ov);
+        t.separator();
+    }
+    format!("Table 4: GM and Network Contention Overhead\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_apps::synthetic;
+    use cedar_core::suite::SuiteResult;
+
+    fn mini_suite() -> SuiteResult {
+        // A tiny campaign so table rendering is fast in tests.
+        let mut a = synthetic::uniform_sdoall(1, 1, 8, 8, 300, 4);
+        a.name = "FLO52";
+        let mut b = synthetic::uniform_xdoall(1, 1, 32, 300, 4);
+        b.name = "ARC2D";
+        let mut c = synthetic::uniform_sdoall(1, 1, 8, 16, 300, 0);
+        c.name = "MDG";
+        SuiteResult::measure(&[a, b, c], &Configuration::ALL)
+    }
+
+    #[test]
+    fn all_tables_render_with_expected_structure() {
+        let suite = mini_suite();
+        let t1 = table1(&suite);
+        assert!(t1.contains("Table 1"));
+        assert!(t1.contains("FLO52"));
+        assert!(t1.contains("Speedup"));
+        assert!(t1.contains("32 proc"));
+
+        let t2 = table2(&suite);
+        assert!(t2.contains("cpi"));
+        assert!(t2.contains("pg flt (c)"));
+        assert!(t2.contains("glbl syscall"));
+
+        let t3 = table3(&suite);
+        assert!(t3.contains("helper3"), "32-proc rows list three helpers");
+        assert!(t3.contains("Main"));
+
+        let t4 = table4(&suite);
+        assert!(t4.contains("Tp_actual"));
+        assert!(t4.contains("Ov_cont"));
+    }
+
+    #[test]
+    fn table1_has_three_rows_per_app() {
+        let suite = mini_suite();
+        let t1 = table1(&suite);
+        let ct_rows = t1.lines().filter(|l| l.contains("CT (s)")).count();
+        assert_eq!(ct_rows, 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! Runtime-library timing parameters.
+
+use cedar_sim::Cycles;
+
+/// Costs and periods of the modelled Cedar Fortran runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RtlConfig {
+    /// Period at which a spin-waiting helper re-reads the
+    /// `sdoall_activity` word ("checking ... every few cycles", §7 — kept
+    /// coarse enough that idle helpers cause negligible contention).
+    pub activity_spin_period: Cycles,
+    /// Period at which the main task re-reads the joined count while
+    /// spin-waiting at the loop finish barrier.
+    pub barrier_spin_period: Cycles,
+    /// Backoff before re-issuing a failed test-and-set on the iteration
+    /// lock.
+    pub lock_backoff: Cycles,
+    /// Local (non-network) work to set up loop parameters before the
+    /// descriptor is posted.
+    pub setup_local: Cycles,
+    /// Local work a task performs when joining a posted loop.
+    pub join_local: Cycles,
+    /// Cost for a CE to claim the next inner (`cdoall`) iteration over
+    /// the concurrency bus — intra-cluster self-scheduling is fast and
+    /// network-free (§2).
+    pub inner_claim: Cycles,
+}
+
+impl RtlConfig {
+    /// Parameters calibrated for the Cedar reproduction.
+    pub fn cedar() -> Self {
+        RtlConfig {
+            activity_spin_period: Cycles(60),
+            barrier_spin_period: Cycles(60),
+            lock_backoff: Cycles(150),
+            setup_local: Cycles(60),
+            join_local: Cycles(15),
+            inner_claim: Cycles(3),
+        }
+    }
+}
+
+impl Default for RtlConfig {
+    fn default() -> Self {
+        RtlConfig::cedar()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cedar_defaults_are_sane() {
+        let c = RtlConfig::cedar();
+        assert!(c.activity_spin_period > Cycles(10), "spin must be coarse");
+        assert!(c.inner_claim < Cycles(10), "cbus claim must be cheap");
+        assert!(c.lock_backoff > Cycles::ZERO);
+    }
+}

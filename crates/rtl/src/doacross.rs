@@ -1,0 +1,174 @@
+//! DOACROSS serialization.
+//!
+//! "Cedar Fortran also provides DOACROSS loops to make it possible to
+//! serialize regions within a parallel loop" (§2). The gate enforces
+//! that the serialized region of iteration `i` runs only after iteration
+//! `i − 1`'s region has completed, via a ticket word in global memory:
+//! each CE entering its serialized region spins reading the ticket until
+//! it equals its iteration number, and writes `i + 1` on exit.
+
+use cedar_hw::{GlobalAddr, MemOp};
+use cedar_sim::Cycles;
+
+use crate::WordIssue;
+
+/// What the gate wants next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateStep {
+    /// Issue this word operation and feed the value back in.
+    Issue(WordIssue),
+    /// The serialized region may run now.
+    Enter,
+    /// The exit write completed; the next iteration's region may start.
+    Exited,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    WaitTicket,
+    InRegion,
+    WaitExit,
+}
+
+/// Per-CE state machine for one DOACROSS serialized region.
+#[derive(Debug, Clone)]
+pub struct DoacrossGate {
+    ticket: GlobalAddr,
+    iteration: u32,
+    period: Cycles,
+    state: State,
+    spins: u64,
+}
+
+impl DoacrossGate {
+    /// Creates the gate for `iteration`'s serialized region, spinning on
+    /// the `ticket` word every `period` cycles.
+    pub fn new(ticket: GlobalAddr, iteration: u32, period: Cycles) -> Self {
+        DoacrossGate {
+            ticket,
+            iteration,
+            period,
+            state: State::Idle,
+            spins: 0,
+        }
+    }
+
+    /// Begins waiting to enter the serialized region.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the gate is idle.
+    pub fn begin(&mut self) -> GateStep {
+        assert_eq!(self.state, State::Idle, "gate already in use");
+        self.state = State::WaitTicket;
+        GateStep::Issue(WordIssue::now(self.ticket, MemOp::Read))
+    }
+
+    /// Feeds an observed ticket value (while waiting) back in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate is not waiting or exiting.
+    pub fn on_value(&mut self, value: u64) -> GateStep {
+        match self.state {
+            State::WaitTicket => {
+                if value == self.iteration as u64 {
+                    self.state = State::InRegion;
+                    GateStep::Enter
+                } else {
+                    self.spins += 1;
+                    GateStep::Issue(WordIssue::after(self.ticket, MemOp::Read, self.period))
+                }
+            }
+            State::WaitExit => {
+                self.state = State::Idle;
+                GateStep::Exited
+            }
+            _ => panic!("on_value in state {:?}", self.state),
+        }
+    }
+
+    /// Leaves the serialized region: writes the next ticket.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless inside the region.
+    pub fn exit(&mut self) -> GateStep {
+        assert_eq!(self.state, State::InRegion, "exit outside region");
+        self.state = State::WaitExit;
+        GateStep::Issue(WordIssue::now(
+            self.ticket,
+            MemOp::Write(self.iteration as u64 + 1),
+        ))
+    }
+
+    /// Ticket re-reads while waiting.
+    pub fn spins(&self) -> u64 {
+        self.spins
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gate(i: u32) -> DoacrossGate {
+        DoacrossGate::new(GlobalAddr(0x3000), i, Cycles(40))
+    }
+
+    #[test]
+    fn iteration_zero_enters_immediately() {
+        let mut g = gate(0);
+        assert!(matches!(g.begin(), GateStep::Issue(_)));
+        assert_eq!(g.on_value(0), GateStep::Enter);
+        assert_eq!(g.spins(), 0);
+    }
+
+    #[test]
+    fn later_iteration_spins_until_its_turn() {
+        let mut g = gate(2);
+        g.begin();
+        assert!(matches!(g.on_value(0), GateStep::Issue(i) if i.after == Cycles(40)));
+        assert!(matches!(g.on_value(1), GateStep::Issue(_)));
+        assert_eq!(g.on_value(2), GateStep::Enter);
+        assert_eq!(g.spins(), 2);
+    }
+
+    #[test]
+    fn exit_writes_next_ticket() {
+        let mut g = gate(5);
+        g.begin();
+        g.on_value(5);
+        match g.exit() {
+            GateStep::Issue(i) => assert_eq!(i.op, MemOp::Write(6)),
+            other => panic!("expected ticket write, got {other:?}"),
+        }
+        assert_eq!(g.on_value(0), GateStep::Exited);
+    }
+
+    #[test]
+    #[should_panic(expected = "exit outside region")]
+    fn exit_before_enter_panics() {
+        gate(1).exit();
+    }
+
+    #[test]
+    fn gates_chain_in_iteration_order() {
+        // Simulate the ticket word: gate 0 exits, enabling gate 1.
+        let mut ticket = 0u64;
+        let mut g0 = gate(0);
+        let mut g1 = gate(1);
+        g0.begin();
+        assert_eq!(g0.on_value(ticket), GateStep::Enter);
+        g1.begin();
+        assert!(matches!(g1.on_value(ticket), GateStep::Issue(_)));
+        if let GateStep::Issue(i) = g0.exit() {
+            if let MemOp::Write(v) = i.op {
+                ticket = v;
+            }
+        }
+        g0.on_value(0);
+        assert_eq!(g1.on_value(ticket), GateStep::Enter);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests: the iteration-claim protocol keeps its promises under
+//! arbitrary interleavings of competing claimers.
+//!
+//! A tiny shared-memory referee executes the word operations the
+//! claimers emit, one at a time in a proptest-chosen order. Whatever the
+//! interleaving, every iteration must be claimed exactly once and the
+//! lock must never be held by two claimers.
+
+use cedar_hw::MemOp;
+use cedar_rtl::{ClaimStep, IterClaimer, RtlWords};
+use cedar_sim::Cycles;
+use proptest::prelude::*;
+
+/// Shared "memory" for lock and index words.
+struct Referee {
+    lock: u64,
+    index: u64,
+    holder: Option<usize>,
+}
+
+impl Referee {
+    fn apply(&mut self, who: usize, op: MemOp, is_lock: bool) -> u64 {
+        if is_lock {
+            match op {
+                MemOp::TestAndSet => {
+                    let old = self.lock;
+                    self.lock = 1;
+                    if old == 0 {
+                        assert!(self.holder.is_none(), "two lock holders!");
+                        self.holder = Some(who);
+                    }
+                    old
+                }
+                MemOp::Unset => {
+                    assert_eq!(self.holder, Some(who), "unset by non-holder");
+                    self.holder = None;
+                    self.lock = 0;
+                    0
+                }
+                MemOp::Read => self.lock,
+                _ => panic!("unexpected lock op {op:?}"),
+            }
+        } else {
+            match op {
+                MemOp::Read => self.index,
+                MemOp::FetchAdd(d) => {
+                    // The index is only mutated under the lock.
+                    assert_eq!(self.holder, Some(who), "index fetch outside the lock");
+                    let old = self.index;
+                    self.index = self.index.wrapping_add_signed(d);
+                    old
+                }
+                _ => panic!("unexpected index op {op:?}"),
+            }
+        }
+    }
+}
+
+/// One claimer plus its pending operation.
+struct Driver {
+    claimer: IterClaimer,
+    pending: Option<(bool, MemOp)>, // (targets lock?, op)
+    claimed: Vec<u32>,
+    done: bool,
+}
+
+impl Driver {
+    fn new(total: u32) -> Self {
+        let mut claimer = IterClaimer::new(RtlWords::cedar(), total, Cycles(1));
+        let step = claimer.begin();
+        let mut d = Driver {
+            claimer,
+            pending: None,
+            claimed: Vec::new(),
+            done: false,
+        };
+        d.absorb(step);
+        d
+    }
+
+    fn absorb(&mut self, step: ClaimStep) {
+        let w = RtlWords::cedar();
+        match step {
+            ClaimStep::Issue(wi) => {
+                self.pending = Some((wi.addr == w.lock, wi.op));
+            }
+            ClaimStep::Claimed(i) => {
+                self.claimed.push(i);
+                let next = self.claimer.begin();
+                self.absorb(next);
+            }
+            ClaimStep::Exhausted => {
+                self.done = true;
+                self.pending = None;
+            }
+        }
+    }
+
+    /// Executes this driver's pending operation against the referee.
+    fn step(&mut self, who: usize, referee: &mut Referee) {
+        if let Some((is_lock, op)) = self.pending.take() {
+            let value = referee.apply(who, op, is_lock);
+            let next = self.claimer.on_value(value);
+            self.absorb(next);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_iteration_claimed_exactly_once(
+        n_claimers in 2usize..6,
+        total in 1u32..24,
+        schedule in prop::collection::vec(0usize..6, 0..600),
+    ) {
+        let mut referee = Referee { lock: 0, index: 0, holder: None };
+        let mut drivers: Vec<Driver> = (0..n_claimers).map(|_| Driver::new(total)).collect();
+
+        // Drive the proptest-chosen interleaving, then round-robin until
+        // everyone exhausts.
+        for &pick in &schedule {
+            let who = pick % n_claimers;
+            drivers[who].step(who, &mut referee);
+        }
+        let mut guard = 0;
+        while drivers.iter().any(|d| !d.done) {
+            for (who, driver) in drivers.iter_mut().enumerate() {
+                driver.step(who, &mut referee);
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "protocol wedged");
+        }
+
+        // Exactly-once coverage.
+        let mut all: Vec<u32> = drivers.iter().flat_map(|d| d.claimed.clone()).collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..total).collect();
+        prop_assert_eq!(all, expected);
+        // Lock released at the end.
+        prop_assert_eq!(referee.lock, 0);
+        prop_assert!(referee.holder.is_none());
+    }
+
+    #[test]
+    fn single_claimer_claims_in_ascending_order(total in 1u32..50) {
+        let mut referee = Referee { lock: 0, index: 0, holder: None };
+        let mut d = Driver::new(total);
+        let mut guard = 0;
+        while !d.done {
+            d.step(0, &mut referee);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        let expected: Vec<u32> = (0..total).collect();
+        prop_assert_eq!(d.claimed, expected);
+    }
+}

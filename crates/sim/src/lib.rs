@@ -1,0 +1,42 @@
+//! # cedar-sim — deterministic discrete-event simulation kernel
+//!
+//! This crate is the substrate underneath the Cedar machine reproduction.
+//! It deliberately contains nothing Cedar-specific: simulated time
+//! ([`Cycles`], [`SimTime`]), a deterministic event queue
+//! ([`EventQueue`]), the outbox pattern used by component state machines
+//! ([`Outbox`]), a small deterministic RNG ([`SplitMix64`]), and
+//! time-weighted statistics helpers ([`stats`]).
+//!
+//! ## Determinism
+//!
+//! Every run of the simulator with the same inputs produces bit-identical
+//! traces. Two mechanisms guarantee this:
+//!
+//! * [`EventQueue`] breaks timestamp ties by insertion sequence number, so
+//!   simultaneous events fire in the order they were scheduled.
+//! * [`SplitMix64`] is a fixed-seed PRNG; no ambient entropy is consulted.
+//!
+//! ## Example
+//!
+//! ```
+//! use cedar_sim::{Cycles, EventQueue};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Cycles(5), "later");
+//! q.schedule(Cycles(1), "first");
+//! q.schedule(Cycles(5), "tie-broken-second");
+//! assert_eq!(q.pop(), Some((Cycles(1), "first")));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
+//! assert_eq!(q.pop().map(|(_, e)| e), Some("tie-broken-second"));
+//! ```
+
+pub mod outbox;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use outbox::Outbox;
+pub use queue::EventQueue;
+pub use rng::SplitMix64;
+pub use time::{Cycles, HpmTicks, SimTime, CYCLE_NS, HPM_TICKS_PER_CYCLE, HPM_TICK_NS};

@@ -1,0 +1,114 @@
+//! The outbox pattern used by component state machines.
+//!
+//! Components in `cedar-hw`, `cedar-xylem` and `cedar-rtl` are plain
+//! structs whose `handle(...)` methods receive an event, the current time
+//! and a mutable [`Outbox`]. Instead of scheduling directly into the global
+//! queue (which would require every component to hold a queue reference,
+//! entangling ownership), they *emit* `(delay, event)` pairs into the
+//! outbox; the machine loop in `cedar-core` drains the outbox into the
+//! master [`EventQueue`](crate::EventQueue). This keeps each component
+//! independently unit-testable: tests call `handle` with a scratch outbox
+//! and assert on what was emitted.
+
+use crate::time::{Cycles, SimTime};
+
+/// A buffer of events emitted by a component during one `handle` call.
+///
+/// # Example
+///
+/// ```
+/// use cedar_sim::{Cycles, Outbox};
+///
+/// let mut out: Outbox<&'static str> = Outbox::new();
+/// out.emit(Cycles(3), "fires at now+3");
+/// out.emit_now("fires immediately");
+/// let drained: Vec<_> = out.drain().collect();
+/// assert_eq!(drained, vec![(Cycles(3), "fires at now+3"),
+///                          (Cycles(0), "fires immediately")]);
+/// ```
+#[derive(Debug)]
+pub struct Outbox<E> {
+    items: Vec<(Cycles, E)>,
+}
+
+impl<E> Outbox<E> {
+    /// Creates an empty outbox.
+    pub fn new() -> Self {
+        Outbox { items: Vec::new() }
+    }
+
+    /// Emits `event` to fire `delay` cycles after the current time.
+    pub fn emit(&mut self, delay: Cycles, event: E) {
+        self.items.push((delay, event));
+    }
+
+    /// Emits `event` to fire at the current time (zero delay).
+    pub fn emit_now(&mut self, event: E) {
+        self.emit(Cycles::ZERO, event);
+    }
+
+    /// Drains all buffered `(delay, event)` pairs in emission order.
+    pub fn drain(&mut self) -> impl Iterator<Item = (Cycles, E)> + '_ {
+        self.items.drain(..)
+    }
+
+    /// Drains into an absolute-time event queue, anchoring delays at `now`.
+    pub fn flush_into(&mut self, now: SimTime, queue: &mut crate::EventQueue<E>) {
+        for (delay, ev) in self.items.drain(..) {
+            queue.schedule(now + delay, ev);
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing has been emitted (or everything was drained).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<E> Default for Outbox<E> {
+    fn default() -> Self {
+        Outbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventQueue;
+
+    #[test]
+    fn emits_in_order() {
+        let mut out = Outbox::new();
+        out.emit(Cycles(2), "b");
+        out.emit(Cycles(1), "a");
+        let v: Vec<_> = out.drain().collect();
+        assert_eq!(v, vec![(Cycles(2), "b"), (Cycles(1), "a")]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flush_anchors_at_now() {
+        let mut out = Outbox::new();
+        out.emit(Cycles(5), 'x');
+        out.emit_now('y');
+        let mut q = EventQueue::new();
+        out.flush_into(Cycles(100), &mut q);
+        assert_eq!(q.pop(), Some((Cycles(100), 'y')));
+        assert_eq!(q.pop(), Some((Cycles(105), 'x')));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_buffered_events() {
+        let mut out: Outbox<u8> = Outbox::new();
+        assert_eq!(out.len(), 0);
+        out.emit_now(1);
+        out.emit_now(2);
+        assert_eq!(out.len(), 2);
+    }
+}

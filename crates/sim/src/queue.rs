@@ -1,0 +1,192 @@
+//! Deterministic pending-event set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A pending event: fire time, tie-break sequence, payload.
+struct Pending<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Pending<E> {}
+
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (and, on ties,
+        // the first-scheduled) event is popped first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event set keyed by simulated time.
+///
+/// Ties in fire time are broken by scheduling order, which makes whole-run
+/// behaviour reproducible: replaying the same schedule yields the same pop
+/// order, bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use cedar_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycles(10), 'b');
+/// q.schedule(Cycles(2), 'a');
+/// assert_eq!(q.pop(), Some((Cycles(2), 'a')));
+/// assert_eq!(q.pop(), Some((Cycles(10), 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Pending<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Pending { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest pending event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|p| (p.at, p.payload))
+    }
+
+    /// Fire time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled on this queue (a cheap proxy
+    /// for simulation work, reported by the bench harness).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("scheduled_total", &self.scheduled_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Cycles;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(30), 3);
+        q.schedule(Cycles(10), 1);
+        q.schedule(Cycles(20), 2);
+        assert_eq!(q.pop(), Some((Cycles(10), 1)));
+        assert_eq!(q.pop(), Some((Cycles(20), 2)));
+        assert_eq!(q.pop(), Some((Cycles(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycles(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(5), 'a');
+        assert_eq!(q.pop(), Some((Cycles(5), 'a')));
+        q.schedule(Cycles(3), 'b');
+        q.schedule(Cycles(1), 'c');
+        assert_eq!(q.pop(), Some((Cycles(1), 'c')));
+        q.schedule(Cycles(2), 'd');
+        assert_eq!(q.pop(), Some((Cycles(2), 'd')));
+        assert_eq!(q.pop(), Some((Cycles(3), 'b')));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles(4), ());
+        assert_eq!(q.peek_time(), Some(Cycles(4)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_total_scheduled() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.schedule(Cycles(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.scheduled_total(), 5);
+        assert!(q.is_empty());
+    }
+}

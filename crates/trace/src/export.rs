@@ -1,0 +1,196 @@
+//! Off-loading the trace buffer.
+//!
+//! The real `cedarhpm` off-loads its trace buffers "to a remote Sun
+//! Workstation at the end of the program execution for analysis" (§4).
+//! This module is the equivalent: a stable, line-oriented CSV encoding of
+//! the trace, plus a parser for round-tripping archived traces back into
+//! the analysis tooling.
+
+use cedar_hw::CeId;
+use cedar_sim::HpmTicks;
+
+use crate::event::{TraceEvent, TraceEventId};
+
+/// All event ids, for encoding.
+const IDS: [(TraceEventId, &str); 21] = [
+    (TraceEventId::MainEncounterLoop, "main_encounter_loop"),
+    (TraceEventId::HelperJoinLoop, "helper_join_loop"),
+    (TraceEventId::PickIterEnter, "pick_iter_enter"),
+    (TraceEventId::PickIterExit, "pick_iter_exit"),
+    (TraceEventId::IterStart, "iter_start"),
+    (TraceEventId::IterEnd, "iter_end"),
+    (TraceEventId::FinishBarrierEnter, "finish_barrier_enter"),
+    (TraceEventId::FinishBarrierExit, "finish_barrier_exit"),
+    (TraceEventId::WaitForWorkEnter, "wait_for_work_enter"),
+    (TraceEventId::WaitForWorkExit, "wait_for_work_exit"),
+    (TraceEventId::LoopSetupEnter, "loop_setup_enter"),
+    (TraceEventId::LoopSetupExit, "loop_setup_exit"),
+    (TraceEventId::TaskDetach, "task_detach"),
+    (TraceEventId::ClusterLoopStart, "cluster_loop_start"),
+    (TraceEventId::ClusterLoopEnd, "cluster_loop_end"),
+    (TraceEventId::SerialStart, "serial_start"),
+    (TraceEventId::SerialEnd, "serial_end"),
+    (TraceEventId::OsServiceEnter, "os_service_enter"),
+    (TraceEventId::OsServiceExit, "os_service_exit"),
+    (TraceEventId::ContextSwitch, "context_switch"),
+    (TraceEventId::ProgramStart, "program_start"),
+];
+
+/// Name of an event id in the CSV encoding.
+pub fn id_name(id: TraceEventId) -> &'static str {
+    if id == TraceEventId::ProgramEnd {
+        return "program_end";
+    }
+    IDS.iter()
+        .find(|(i, _)| *i == id)
+        .map(|(_, n)| *n)
+        .expect("every id is named")
+}
+
+/// Parses an event name back to its id.
+pub fn id_from_name(name: &str) -> Option<TraceEventId> {
+    if name == "program_end" {
+        return Some(TraceEventId::ProgramEnd);
+    }
+    IDS.iter().find(|(_, n)| *n == name).map(|(i, _)| *i)
+}
+
+/// Encodes a trace as CSV (`event,hpm_ticks,ce,arg`).
+pub fn to_csv(events: &[TraceEvent]) -> String {
+    let mut out = String::from("event,hpm_ticks,ce,arg\n");
+    for e in events {
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            id_name(e.id),
+            e.at.0,
+            e.ce.0,
+            e.arg
+        ));
+    }
+    out
+}
+
+/// Error from parsing an archived trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line the parse failed on.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Parses a CSV trace produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] for an unknown event name or malformed
+/// field.
+pub fn from_csv(csv: &str) -> Result<Vec<TraceEvent>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (i, line) in csv.lines().enumerate() {
+        if i == 0 || line.is_empty() {
+            continue; // header / trailing newline
+        }
+        let err = |message: String| ParseTraceError {
+            line: i + 1,
+            message,
+        };
+        let mut parts = line.split(',');
+        let name = parts.next().ok_or_else(|| err("missing event".into()))?;
+        let id = id_from_name(name).ok_or_else(|| err(format!("unknown event {name:?}")))?;
+        let at: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad timestamp".into()))?;
+        let ce: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad ce".into()))?;
+        let arg: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| err("bad arg".into()))?;
+        out.push(TraceEvent {
+            id,
+            at: HpmTicks(at),
+            ce: CeId(ce),
+            arg,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_sim::Cycles;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                id: TraceEventId::ProgramStart,
+                at: Cycles(0).to_hpm_ticks(),
+                ce: CeId(0),
+                arg: 0,
+            },
+            TraceEvent {
+                id: TraceEventId::IterStart,
+                at: Cycles(42).to_hpm_ticks(),
+                ce: CeId(17),
+                arg: 2,
+            },
+            TraceEvent {
+                id: TraceEventId::ProgramEnd,
+                at: Cycles(100).to_hpm_ticks(),
+                ce: CeId(0),
+                arg: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let events = sample();
+        let csv = to_csv(&events);
+        let parsed = from_csv(&csv).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn every_event_id_has_a_unique_name() {
+        let mut names: Vec<&str> = IDS.iter().map(|(_, n)| *n).collect();
+        names.push("program_end");
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        // And they all round trip.
+        for name in names {
+            let id = id_from_name(name).unwrap();
+            assert_eq!(id_name(id), name);
+        }
+    }
+
+    #[test]
+    fn parse_reports_bad_lines() {
+        let err = from_csv("event,hpm_ticks,ce,arg\nnope,1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown event"));
+        let err = from_csv("event,hpm_ticks,ce,arg\niter_start,xx,2,3\n").unwrap_err();
+        assert!(err.message.contains("bad timestamp"));
+    }
+
+    #[test]
+    fn header_and_blank_lines_are_skipped() {
+        let parsed = from_csv("event,hpm_ticks,ce,arg\n").unwrap();
+        assert!(parsed.is_empty());
+    }
+}

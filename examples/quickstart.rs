@@ -1,0 +1,73 @@
+//! Quickstart: run one Perfect Benchmark application on the full
+//! 4-cluster Cedar and print the paper's headline overheads.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cedar::apps::app_by_name;
+use cedar::core::methodology::{contention_overhead, parallel_loop_concurrency};
+use cedar::core::{Experiment, SimConfig};
+use cedar::hw::Configuration;
+use cedar::trace::UserBucket;
+
+fn main() {
+    // FLO52 at a reduced time-step count so the example finishes in a
+    // couple of seconds; drop `.shrunk(2)` for the publication scale.
+    let app = app_by_name("FLO52").expect("FLO52 is in the suite").shrunk(2);
+
+    println!("running {} on 1 processor (baseline)...", app.name);
+    let baseline = Experiment::new(app.clone(), SimConfig::cedar(Configuration::P1)).run();
+
+    println!("running {} on the 4-cluster/32-processor Cedar...", app.name);
+    let run = Experiment::new(app, SimConfig::cedar(Configuration::P32)).run();
+
+    println!();
+    println!("completion time : {:.4}s (scaled seconds)", run.ct_seconds());
+    println!("speedup         : {:.2}x over 1 processor", run.speedup_over(&baseline));
+    println!("avg concurrency : {:.2} of 32 processors", run.total_concurrency());
+    println!();
+
+    // The three overhead families the paper characterizes:
+    println!(
+        "operating-system overhead      : {:>5.1}% of completion time",
+        run.os_overhead_fraction() * 100.0
+    );
+    println!(
+        "parallelization overhead (main): {:>5.1}% of completion time",
+        run.main_parallelization_fraction() * 100.0
+    );
+    let contention = contention_overhead(&baseline, &run);
+    println!(
+        "GM & network contention        : {:>5.1}% of completion time",
+        contention.overhead_pct
+    );
+    println!();
+
+    // A peek into the Figure 5 user-time buckets for the main task:
+    let b = run.main_breakdown();
+    for bucket in [
+        UserBucket::IterExec,
+        UserBucket::Serial,
+        UserBucket::BarrierWait,
+        UserBucket::PickupSdoall,
+    ] {
+        println!(
+            "  main task {:<18}: {:>5.1}%",
+            bucket.label(),
+            b.fraction(bucket, run.completion_time) * 100.0
+        );
+    }
+    let helpers = run.helper_breakdowns();
+    if let Some(h) = helpers.first() {
+        println!(
+            "  helper-task wait for work : {:>5.1}%",
+            h.fraction(UserBucket::HelperWait, run.completion_time) * 100.0
+        );
+    }
+
+    // And the §7 parallel-loop concurrency per cluster:
+    let cc = parallel_loop_concurrency(&run);
+    let pc: Vec<String> = cc.iter().map(|c| format!("{:.2}", c.par_concurr)).collect();
+    println!("  parallel-loop concurrency : {}", pc.join(", "));
+}

@@ -1,0 +1,64 @@
+//! Scaling study: sweep one application across all five Cedar
+//! configurations and print Table 1-style rows plus the overhead trend —
+//! the paper's §3 view for a single code.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study [APP] [SHRINK]
+//! ```
+//!
+//! `APP` is one of FLO52, ARC2D, MDG, OCEAN, ADM (default MDG);
+//! `SHRINK` divides the time-step count for a quicker pass (default 4).
+
+use cedar::apps::app_by_name;
+use cedar::core::methodology::contention_overhead;
+use cedar::core::{Experiment, SimConfig};
+use cedar::hw::Configuration;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "MDG".into());
+    let shrink: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let app = app_by_name(&name)
+        .unwrap_or_else(|| panic!("unknown application {name:?}"))
+        .shrunk(shrink);
+
+    println!(
+        "{:>8} | {:>10} | {:>8} | {:>8} | {:>6} | {:>7} | {:>8}",
+        "config", "CT (s)", "speedup", "concurr", "OS %", "par-ov %", "cont %"
+    );
+    println!("{}", "-".repeat(72));
+
+    let mut baseline = None;
+    for c in Configuration::ALL {
+        let run = Experiment::new(app.clone(), SimConfig::cedar(c)).run();
+        let (speedup, cont) = match &baseline {
+            None => (1.0, 0.0),
+            Some(base) => (
+                run.speedup_over(base),
+                contention_overhead(base, &run).overhead_pct,
+            ),
+        };
+        println!(
+            "{:>8} | {:>10.4} | {:>8.2} | {:>8.2} | {:>6.1} | {:>7.1} | {:>8.1}",
+            c.label(),
+            run.ct_seconds(),
+            speedup,
+            run.total_concurrency(),
+            run.os_overhead_fraction() * 100.0,
+            run.main_parallelization_fraction() * 100.0,
+            cont,
+        );
+        if c == Configuration::P1 {
+            baseline = Some(run);
+        }
+    }
+    println!();
+    println!(
+        "Note: speedups stay below the average concurrency — part of every"
+    );
+    println!(
+        "active processor's time goes to the overheads above (§3.1 result 2)."
+    );
+}

@@ -1,0 +1,78 @@
+//! Working with the raw `cedarhpm` trace.
+//!
+//! The paper's methodology is trace-driven: instrumented events (event
+//! id, 50 ns timestamp, processor id) are collected by a non-intrusive
+//! hardware monitor and analysed off-line (§4). This example keeps the
+//! trace of a small run, reconstructs iteration intervals with the
+//! pairing analysis, and prints a per-processor activity profile.
+//!
+//! ```sh
+//! cargo run --release --example trace_inspection
+//! ```
+
+use std::collections::BTreeMap;
+
+use cedar::apps::synthetic;
+use cedar::core::{Experiment, SimConfig};
+use cedar::hw::Configuration;
+use cedar::trace::{pair_intervals, TraceEventId};
+use cedar_sim::Cycles;
+
+fn main() {
+    let app = synthetic::uniform_sdoall(2, 2, 8, 16, 400, 8);
+    let cfg = SimConfig::cedar(Configuration::P8).with_trace();
+    let run = Experiment::new(app, cfg).run();
+    let trace = run.trace.as_ref().expect("trace was kept");
+
+    println!("trace contains {} events over {:.4}s", trace.len(), run.ct_seconds());
+
+    // Reconstruct iteration-body intervals, exactly as the off-line
+    // analysis of the off-loaded trace buffers would.
+    let iters = pair_intervals(trace, TraceEventId::IterStart, TraceEventId::IterEnd);
+    println!("reconstructed {} iteration intervals", iters.len());
+
+    let mut per_ce: BTreeMap<u16, (u64, Cycles)> = BTreeMap::new();
+    for iv in &iters {
+        let e = per_ce.entry(iv.ce.0).or_insert((0, Cycles::ZERO));
+        e.0 += 1;
+        e.1 += iv.duration();
+    }
+    println!("\nper-processor iteration profile:");
+    println!("{:>6} | {:>6} | {:>12} | {:>10}", "CE", "iters", "busy (cy)", "% of CT");
+    println!("{}", "-".repeat(44));
+    for (ce, (count, busy)) in &per_ce {
+        println!(
+            "{:>6} | {:>6} | {:>12} | {:>10.1}",
+            ce,
+            count,
+            busy.0,
+            busy.fraction_of(run.completion_time) * 100.0
+        );
+    }
+
+    // Show the self-scheduling in action: the first few pick-up episodes.
+    let picks = pair_intervals(trace, TraceEventId::PickIterEnter, TraceEventId::PickIterExit);
+    println!("\nfirst five iteration pick-ups (self-scheduling on the global lock):");
+    for iv in picks.iter().take(5) {
+        println!(
+            "  CE{:<2} picked an iteration in {} cycles (at t={} hpm ticks)",
+            iv.ce.0,
+            iv.duration().0,
+            iv.start.0
+        );
+    }
+
+    // Barrier behaviour of the main task.
+    let barriers = pair_intervals(
+        trace,
+        TraceEventId::FinishBarrierEnter,
+        TraceEventId::FinishBarrierExit,
+    );
+    let total_barrier: Cycles = barriers.iter().map(|b| b.duration()).sum();
+    println!(
+        "\nmain task spent {} cycles in {} finish-barrier episodes ({:.2}% of CT)",
+        total_barrier.0,
+        barriers.len(),
+        total_barrier.fraction_of(run.completion_time) * 100.0
+    );
+}

@@ -1,0 +1,23 @@
+//! Facade crate re-exporting the Cedar reproduction workspace.
+//!
+//! The workspace reproduces the ISCA'94 study *Measurement-Based
+//! Characterization of Global Memory and Network Contention, Operating
+//! System and Parallelization Overheads* (Natarajan, Sharma, Iyer) on a
+//! simulated Cedar shared-memory multiprocessor.
+//!
+//! Most users want [`core`] (experiment driver and methodology),
+//! [`apps`] (the five Perfect Benchmark workload models) and
+//! [`report`] (table/figure rendering). The remaining crates are the
+//! simulated substrates: [`hw`] (network + global memory + clusters),
+//! [`xylem`] (operating system), [`rtl`] (Cedar Fortran runtime) and
+//! [`trace`] (cedarhpm / statfx / Q measurement facilities), all built on
+//! the [`sim`] discrete-event kernel.
+
+pub use cedar_apps as apps;
+pub use cedar_core as core;
+pub use cedar_hw as hw;
+pub use cedar_report as report;
+pub use cedar_rtl as rtl;
+pub use cedar_sim as sim;
+pub use cedar_trace as trace;
+pub use cedar_xylem as xylem;

@@ -1,0 +1,136 @@
+//! Property-based invariants over randomly generated workloads.
+//!
+//! Every generated loop-parallel program, on every configuration, must
+//! respect the conservation laws of the simulator: each iteration
+//! executes exactly once, accounting never exceeds the wall clock, and
+//! identical inputs give identical traces.
+
+use cedar::apps::{AccessPattern, AppBuilder, BodySpec};
+use cedar::core::{Experiment, SimConfig};
+use cedar::hw::route::DeltaGeometry;
+use cedar::hw::Configuration;
+use proptest::prelude::*;
+
+/// A small random loop-parallel program.
+fn arb_app() -> impl Strategy<Value = cedar::apps::AppSpec> {
+    (
+        1u32..=2,    // serial kilocycles
+        1u32..=3,    // loops
+        prop::bool::ANY, // xdoall vs sdoall
+        2u32..=12,   // outer / flat iterations
+        1u32..=12,   // inner iterations
+        50u64..=600, // body compute
+        0u32..=12,   // words per access
+        0u8..=20,    // jitter
+    )
+        .prop_map(
+            |(serial_k, loops, flat, outer, inner, compute, words, jitter)| {
+                let mut b = AppBuilder::new("PROP").array("data", 256 * 1024);
+                b = b.repeat(1, |mut rb| {
+                    rb = rb.serial(serial_k as u64 * 1000);
+                    for _ in 0..loops {
+                        let mut body = BodySpec::compute(compute).with_jitter(jitter);
+                        if words > 0 {
+                            body = body.with_access(AccessPattern::sweep(0, words));
+                        }
+                        rb = if flat {
+                            rb.xdoall(outer * inner, body)
+                        } else {
+                            rb.sdoall(outer, inner, body)
+                        };
+                    }
+                    rb
+                });
+                b.build()
+            },
+        )
+}
+
+fn configs() -> impl Strategy<Value = Configuration> {
+    prop::sample::select(vec![
+        Configuration::P1,
+        Configuration::P4,
+        Configuration::P8,
+        Configuration::P16,
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_iteration_executes_exactly_once(app in arb_app(), c in configs()) {
+        let expected = app.total_bodies();
+        let run = Experiment::new(app, SimConfig::cedar(c)).run();
+        prop_assert_eq!(run.bodies, expected);
+    }
+
+    #[test]
+    fn identical_runs_are_bit_identical(app in arb_app(), c in configs()) {
+        let a = Experiment::new(app.clone(), SimConfig::cedar(c)).run();
+        let b = Experiment::new(app, SimConfig::cedar(c)).run();
+        prop_assert_eq!(a.completion_time, b.completion_time);
+        prop_assert_eq!(a.events, b.events);
+        prop_assert_eq!(a.gmem.packets, b.gmem.packets);
+        prop_assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn breakdown_never_exceeds_completion_time(app in arb_app(), c in configs()) {
+        let run = Experiment::new(app, SimConfig::cedar(c)).run();
+        for b in &run.breakdowns {
+            prop_assert!(b.total() <= run.completion_time,
+                "task user time {} > CT {}", b.total(), run.completion_time);
+        }
+    }
+
+    #[test]
+    fn more_processors_never_lose_badly(app in arb_app()) {
+        // Parallel runs may not beat 1p on degenerate programs, but they
+        // must never be dramatically slower (protocol costs are bounded).
+        let base = Experiment::new(app.clone(), SimConfig::cedar(Configuration::P1)).run();
+        let p8 = Experiment::new(app, SimConfig::cedar(Configuration::P8)).run();
+        prop_assert!(
+            p8.completion_time.0 <= base.completion_time.0 * 2,
+            "8p run more than 2x slower than 1p"
+        );
+    }
+
+    #[test]
+    fn concurrency_bounded_by_active_processors(app in arb_app(), c in configs()) {
+        let run = Experiment::new(app, SimConfig::cedar(c)).run();
+        let total = run.total_concurrency();
+        prop_assert!(total <= c.total_ces() as f64 + 1e-9);
+        prop_assert!(total > 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delta_routing_is_well_formed(src in 0u16..32, dst in 0u16..32) {
+        let g = DeltaGeometry::cedar();
+        // Stage-1 port leads to the stage-2 switch serving dst.
+        prop_assert_eq!(g.stage1_port(dst) % g.switches_per_stage(), g.stage2_switch(dst));
+        // Output port identifies the destination within its switch.
+        prop_assert_eq!(
+            g.stage2_switch(dst) * g.radix() + g.stage2_port(dst),
+            dst
+        );
+        // Sources attach to exactly one stage-1 switch.
+        prop_assert!(g.stage1_switch(src) < g.switches_per_stage());
+    }
+
+    #[test]
+    fn interleaving_covers_all_modules_uniformly(start in 0u64..4096) {
+        use cedar::hw::GlobalAddr;
+        // Any 32 consecutive double words hit all 32 modules exactly once.
+        let mut seen = [false; 32];
+        for k in 0..32u64 {
+            let m = GlobalAddr((start + k) * 8).module(32).0 as usize;
+            prop_assert!(!seen[m], "module {} hit twice", m);
+            seen[m] = true;
+        }
+    }
+}

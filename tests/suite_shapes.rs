@@ -1,0 +1,166 @@
+//! Integration tests: the paper's headline qualitative results must hold
+//! on a reduced-scale campaign.
+//!
+//! These exercise the full stack — workload models, runtime protocols,
+//! OS model, network/memory contention and the measurement methodology —
+//! through the public API.
+
+use cedar::apps::{app_by_name, perfect_suite};
+use cedar::core::methodology::{contention_overhead, parallel_loop_concurrency};
+use cedar::core::{Experiment, RunResult, SimConfig};
+use cedar::hw::Configuration;
+use cedar::trace::UserBucket;
+
+/// Debug builds simulate ~10x slower; shrink harder there.
+fn shrink() -> u32 {
+    if cfg!(debug_assertions) {
+        12
+    } else {
+        4
+    }
+}
+
+fn run(name: &str, c: Configuration) -> RunResult {
+    let app = app_by_name(name).expect("suite app").shrunk(shrink());
+    Experiment::new(app, SimConfig::cedar(c)).run()
+}
+
+#[test]
+fn suite_has_the_papers_construct_usage() {
+    let suite = perfect_suite();
+    let by = |n: &str| suite.iter().find(|a| a.name == n).unwrap();
+    assert!(!by("FLO52").uses_xdoall(), "FLO52 is hierarchical-only (S2)");
+    assert!(!by("ADM").uses_sdoall(), "ADM is flat-only (S2)");
+    for n in ["ARC2D", "MDG", "OCEAN"] {
+        assert!(by(n).uses_sdoall() && by(n).uses_xdoall());
+    }
+}
+
+#[test]
+fn mdg_scales_nearly_linearly() {
+    let base = run("MDG", Configuration::P1);
+    let p8 = run("MDG", Configuration::P8);
+    let s8 = p8.speedup_over(&base);
+    assert!(s8 > 6.5, "MDG 8-processor speedup {s8} below near-linear");
+}
+
+#[test]
+fn adm_saturates_beyond_16_processors() {
+    let base = run("ADM", Configuration::P1);
+    let p16 = run("ADM", Configuration::P16);
+    let p32 = run("ADM", Configuration::P32);
+    let s16 = p16.speedup_over(&base);
+    let s32 = p32.speedup_over(&base);
+    // Table 1: 8.52 -> 8.84; the last 16 processors buy almost nothing.
+    assert!(
+        (s32 - s16).abs() / s16 < 0.25,
+        "ADM should flatten 16p->32p, got {s16} -> {s32}"
+    );
+}
+
+#[test]
+fn speedup_stays_below_average_concurrency() {
+    // §3.1 result (2), for every app at 32 processors.
+    for name in ["FLO52", "MDG", "ADM"] {
+        let base = run(name, Configuration::P1);
+        let r = run(name, Configuration::P32);
+        assert!(
+            r.speedup_over(&base) < r.total_concurrency(),
+            "{name}: speedup must be below concurrency"
+        );
+    }
+}
+
+#[test]
+fn helpers_wait_while_main_runs_serial_code() {
+    // §6: helper_wait corresponds to the serial and barrier time of the
+    // main task; it must dominate the helpers' overhead.
+    let r = run("FLO52", Configuration::P32);
+    for h in r.helper_breakdowns() {
+        let wait = h.get(UserBucket::HelperWait);
+        assert!(wait > h.get(UserBucket::LoopSetup));
+        assert!(
+            wait.fraction_of(r.completion_time) > 0.10,
+            "helper wait should be a substantial fraction"
+        );
+    }
+}
+
+#[test]
+fn flat_construct_costs_more_to_distribute_than_hierarchical() {
+    // §6: xdoall distribution overhead >> sdoall distribution overhead
+    // (per unit of loop work) at 32 processors. ADM (flat-only) vs
+    // FLO52 (hierarchical-only).
+    let adm = run("ADM", Configuration::P32);
+    let flo = run("FLO52", Configuration::P32);
+    let adm_pick = adm.helper_breakdowns()[0]
+        .get(UserBucket::PickupXdoall)
+        .fraction_of(adm.completion_time);
+    let flo_pick = flo.helper_breakdowns()[0]
+        .get(UserBucket::PickupSdoall)
+        .fraction_of(flo.completion_time);
+    assert!(
+        adm_pick > flo_pick,
+        "xdoall pickup ({adm_pick}) should exceed sdoall pickup ({flo_pick})"
+    );
+}
+
+#[test]
+fn os_overhead_grows_with_processors() {
+    let p1 = run("ARC2D", Configuration::P1);
+    let p32 = run("ARC2D", Configuration::P32);
+    assert!(p32.os_overhead_fraction() > p1.os_overhead_fraction());
+    // §5: kernel lock spin stays negligible. (At debug-build shrink the
+    // page-fault bursts concentrate 12x, so the bound is looser there.)
+    let bound = if cfg!(debug_assertions) { 0.08 } else { 0.03 };
+    let spin = p32.utilization[0]
+        .spin
+        .fraction_of(p32.completion_time);
+    assert!(spin < bound, "kernel spin {spin} should stay negligible");
+}
+
+#[test]
+fn contention_overhead_increases_with_scale_for_balanced_apps() {
+    let base = run("MDG", Configuration::P1);
+    let p4 = run("MDG", Configuration::P4);
+    let p32 = run("MDG", Configuration::P32);
+    let o4 = contention_overhead(&base, &p4).overhead_pct;
+    let o32 = contention_overhead(&base, &p32).overhead_pct;
+    assert!(o32 > o4, "MDG contention must grow with processors (Table 4)");
+    assert!(o4 < 10.0, "MDG contention is small at 4 processors");
+}
+
+#[test]
+fn parallel_loop_concurrency_is_physical() {
+    // par_concurr per cluster can never exceed the cluster's CE count
+    // (allowing a small numerical slack from the indirect derivation).
+    for name in ["MDG", "OCEAN"] {
+        let r = run(name, Configuration::P32);
+        for cc in parallel_loop_concurrency(&r) {
+            assert!(
+                cc.par_concurr <= 8.6,
+                "{name}: par_concurr {} beyond one cluster",
+                cc.par_concurr
+            );
+            assert!(cc.pf > 0.0 && cc.pf <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn ocean_has_the_lowest_parallel_loop_concurrency() {
+    // Table 3's distinctive OCEAN row: starved loops.
+    let ocean = run("OCEAN", Configuration::P32);
+    let mdg = run("MDG", Configuration::P32);
+    let o = parallel_loop_concurrency(&ocean)[0].par_concurr;
+    let m = parallel_loop_concurrency(&mdg)[0].par_concurr;
+    assert!(o < m, "OCEAN ({o}) must sit below MDG ({m})");
+}
+
+#[test]
+fn completion_times_are_deterministic() {
+    let a = run("ADM", Configuration::P16);
+    let b = run("ADM", Configuration::P16);
+    assert_eq!(a.completion_time, b.completion_time);
+    assert_eq!(a.events, b.events);
+}
