@@ -1,8 +1,11 @@
 //! Micro-benchmarks of the simulator's building blocks: the per-event
 //! costs that determine how fast a full campaign runs.
+//!
+//! Runs on the in-repo harness (`cargo bench --offline`); JSON lands in
+//! `results/BENCH_components.json`. `BENCH_SMOKE=1` for a one-iteration
+//! smoke pass.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use cedar_bench::harness::{black_box, Harness};
 use cedar_hw::cache::{Cache, CacheConfig};
 use cedar_hw::cbus::CbusBarrier;
 use cedar_hw::module::MemoryModule;
@@ -11,128 +14,116 @@ use cedar_hw::{GlobalAddr, MemOp, NetConfig};
 use cedar_rtl::{ClaimStep, IterClaimer, RtlWords};
 use cedar_sim::{Cycles, EventQueue, SplitMix64};
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        let mut rng = SplitMix64::new(1);
-        b.iter(|| {
-            let mut q = EventQueue::with_capacity(1024);
-            for i in 0..1000u64 {
-                q.schedule(Cycles(rng.next_below(1 << 20)), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, v)) = q.pop() {
-                sum = sum.wrapping_add(v);
-            }
-            black_box(sum)
-        })
+fn bench_event_queue(h: &mut Harness) {
+    let mut rng = SplitMix64::new(1);
+    h.bench("event_queue_schedule_pop_1k", || {
+        let mut q = EventQueue::with_capacity(1024);
+        for i in 0..1000u64 {
+            q.schedule(Cycles(rng.next_below(1 << 20)), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, v)) = q.pop() {
+            sum = sum.wrapping_add(v);
+        }
+        black_box(sum)
     });
 }
 
-fn bench_network(c: &mut Criterion) {
-    c.bench_function("delta_net_two_stage_transit", |b| {
-        let mut net = DeltaNet::new(&NetConfig::cedar());
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 1;
-            let mid = net.transit_stage1((t % 32) as u16, ((t * 7) % 32) as u16, Cycles(t));
-            black_box(net.transit_stage2(((t * 7) % 32) as u16, mid))
-        })
+fn bench_network(h: &mut Harness) {
+    let mut net = DeltaNet::new(&NetConfig::cedar());
+    let mut t = 0u64;
+    h.bench("delta_net_two_stage_transit", || {
+        t += 1;
+        let mid = net.transit_stage1((t % 32) as u16, ((t * 7) % 32) as u16, Cycles(t));
+        black_box(net.transit_stage2(((t * 7) % 32) as u16, mid))
     });
 }
 
-fn bench_memory_module(c: &mut Criterion) {
-    c.bench_function("memory_module_serve", |b| {
-        let mut m = MemoryModule::new(Cycles(4), Cycles(8));
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 2;
-            black_box(m.serve(t % 64, MemOp::Read, Cycles(t)))
-        })
+fn bench_memory_module(h: &mut Harness) {
+    let mut m = MemoryModule::new(Cycles(4), Cycles(8));
+    let mut t = 0u64;
+    h.bench("memory_module_serve", || {
+        t += 2;
+        black_box(m.serve(t % 64, MemOp::Read, Cycles(t)))
     });
-    c.bench_function("memory_module_fetch_add", |b| {
-        let mut m = MemoryModule::new(Cycles(4), Cycles(8));
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 2;
-            black_box(m.serve(3, MemOp::FetchAdd(1), Cycles(t)))
-        })
+    let mut m = MemoryModule::new(Cycles(4), Cycles(8));
+    let mut t = 0u64;
+    h.bench("memory_module_fetch_add", || {
+        t += 2;
+        black_box(m.serve(3, MemOp::FetchAdd(1), Cycles(t)))
     });
 }
 
-fn bench_claim_protocol(c: &mut Criterion) {
-    c.bench_function("iter_claimer_full_claim", |b| {
-        b.iter(|| {
-            let mut claimer = IterClaimer::new(RtlWords::cedar(), 1 << 30, Cycles(150));
-            let mut index = 0u64;
-            let mut lock = 0u64;
-            let mut step = claimer.begin();
-            loop {
-                match step {
-                    ClaimStep::Issue(wi) => {
-                        let w = RtlWords::cedar();
-                        let v = if wi.addr == w.lock {
-                            match wi.op {
-                                MemOp::TestAndSet => {
-                                    let old = lock;
-                                    lock = 1;
-                                    old
-                                }
-                                MemOp::Unset => {
-                                    lock = 0;
-                                    0
-                                }
-                                _ => 0,
+fn bench_claim_protocol(h: &mut Harness) {
+    h.bench("iter_claimer_4k_claims", || {
+        let mut claimer = IterClaimer::new(RtlWords::cedar(), 4096, Cycles(150));
+        let mut index = 0u64;
+        let mut lock = 0u64;
+        let mut step = claimer.begin();
+        loop {
+            match step {
+                ClaimStep::Issue(wi) => {
+                    let w = RtlWords::cedar();
+                    let v = if wi.addr == w.lock {
+                        match wi.op {
+                            MemOp::TestAndSet => {
+                                let old = lock;
+                                lock = 1;
+                                old
                             }
-                        } else {
-                            match wi.op {
-                                MemOp::Read => index,
-                                MemOp::FetchAdd(d) => {
-                                    let old = index;
-                                    index = index.wrapping_add_signed(d);
-                                    old
-                                }
-                                _ => 0,
+                            MemOp::Unset => {
+                                lock = 0;
+                                0
                             }
-                        };
-                        step = claimer.on_value(v);
-                    }
-                    done => break black_box(done),
+                            _ => 0,
+                        }
+                    } else {
+                        match wi.op {
+                            MemOp::Read => index,
+                            MemOp::FetchAdd(d) => {
+                                let old = index;
+                                index = index.wrapping_add_signed(d);
+                                old
+                            }
+                            _ => 0,
+                        }
+                    };
+                    step = claimer.on_value(v);
                 }
+                done => break black_box(done),
             }
-        })
+        }
     });
 }
 
-fn bench_cbus_barrier(c: &mut Criterion) {
-    c.bench_function("cbus_barrier_eight_arrivals", |b| {
-        let mut barrier = CbusBarrier::new(8, Cycles(8));
-        let mut t = 0u64;
-        b.iter(|| {
-            let mut release = None;
-            for i in 0..8 {
-                t += 1;
-                release = barrier.arrive(Cycles(t + i));
-            }
-            black_box(release)
-        })
+fn bench_cbus_barrier(h: &mut Harness) {
+    let mut barrier = CbusBarrier::new(8, Cycles(8));
+    let mut t = 0u64;
+    h.bench("cbus_barrier_eight_arrivals", || {
+        let mut release = None;
+        for i in 0..8 {
+            t += 1;
+            release = barrier.arrive(Cycles(t + i));
+        }
+        black_box(release)
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cluster_cache_access", |b| {
-        let mut cache = Cache::new(CacheConfig::cedar_cluster());
-        let mut rng = SplitMix64::new(7);
-        b.iter(|| black_box(cache.access(GlobalAddr(rng.next_below(1 << 20)))))
+fn bench_cache(h: &mut Harness) {
+    let mut cache = Cache::new(CacheConfig::cedar_cluster());
+    let mut rng = SplitMix64::new(7);
+    h.bench("cluster_cache_access", || {
+        black_box(cache.access(GlobalAddr(rng.next_below(1 << 20))))
     });
 }
 
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_network,
-    bench_memory_module,
-    bench_claim_protocol,
-    bench_cbus_barrier,
-    bench_cache
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("components");
+    bench_event_queue(&mut h);
+    bench_network(&mut h);
+    bench_memory_module(&mut h);
+    bench_claim_protocol(&mut h);
+    bench_cbus_barrier(&mut h);
+    bench_cache(&mut h);
+    h.finish().expect("write bench JSON");
+}

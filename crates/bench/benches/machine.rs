@@ -1,65 +1,50 @@
 //! Whole-machine benchmarks: how fast the simulator executes complete
 //! runs, per configuration and per workload style.
-
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+//!
+//! Runs on the in-repo harness (`cargo bench --offline`); JSON lands in
+//! `results/BENCH_machine.json`. `BENCH_SMOKE=1` for a one-iteration
+//! smoke pass.
 
 use cedar_apps::synthetic;
+use cedar_bench::harness::{black_box, Harness};
 use cedar_core::{Experiment, SimConfig};
 use cedar_hw::Configuration;
 
-fn bench_full_runs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine_run");
-    g.sample_size(10);
+fn bench_full_runs(h: &mut Harness) {
     for conf in [Configuration::P1, Configuration::P8, Configuration::P32] {
-        g.bench_with_input(
-            BenchmarkId::new("sdoall", conf.total_ces()),
-            &conf,
-            |b, &conf| {
-                b.iter(|| {
-                    let app = synthetic::uniform_sdoall(1, 2, 8, 16, 300, 8);
-                    black_box(Experiment::new(app, SimConfig::cedar(conf)).run().events)
-                })
-            },
-        );
-        g.bench_with_input(
-            BenchmarkId::new("xdoall", conf.total_ces()),
-            &conf,
-            |b, &conf| {
-                b.iter(|| {
-                    let app = synthetic::uniform_xdoall(1, 2, 64, 500, 8);
-                    black_box(Experiment::new(app, SimConfig::cedar(conf)).run().events)
-                })
-            },
-        );
+        h.bench(&format!("machine_run/sdoall/{}", conf.total_ces()), || {
+            let app = synthetic::uniform_sdoall(1, 2, 8, 16, 300, 8);
+            black_box(Experiment::new(app, SimConfig::cedar(conf)).run().events)
+        });
+        h.bench(&format!("machine_run/xdoall/{}", conf.total_ces()), || {
+            let app = synthetic::uniform_xdoall(1, 2, 64, 500, 8);
+            black_box(Experiment::new(app, SimConfig::cedar(conf)).run().events)
+        });
     }
-    g.finish();
 }
 
-fn bench_traffic_styles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("traffic_style");
-    g.sample_size(10);
-    g.bench_function("streaming", |b| {
-        b.iter(|| {
-            let app = synthetic::streaming(1, 4, 8, 32);
-            black_box(
-                Experiment::new(app, SimConfig::cedar(Configuration::P8))
-                    .run()
-                    .events,
-            )
-        })
+fn bench_traffic_styles(h: &mut Harness) {
+    h.bench("traffic_style/streaming", || {
+        let app = synthetic::streaming(1, 4, 8, 32);
+        black_box(
+            Experiment::new(app, SimConfig::cedar(Configuration::P8))
+                .run()
+                .events,
+        )
     });
-    g.bench_function("hotspot", |b| {
-        b.iter(|| {
-            let app = synthetic::hotspot(1, 128);
-            black_box(
-                Experiment::new(app, SimConfig::cedar(Configuration::P32))
-                    .run()
-                    .events,
-            )
-        })
+    h.bench("traffic_style/hotspot", || {
+        let app = synthetic::hotspot(1, 128);
+        black_box(
+            Experiment::new(app, SimConfig::cedar(Configuration::P32))
+                .run()
+                .events,
+        )
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_full_runs, bench_traffic_styles);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("machine");
+    bench_full_runs(&mut h);
+    bench_traffic_styles(&mut h);
+    h.finish().expect("write bench JSON");
+}

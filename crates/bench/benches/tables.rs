@@ -1,12 +1,15 @@
-//! One criterion benchmark per paper table/figure: each measures the
-//! end-to-end time to *regenerate* that artifact (campaign + analysis +
-//! rendering) on a reduced-scale suite. The publication-scale artifacts
-//! come from the `table1`..`fig9` binaries; these benches track the cost
-//! of the pipeline itself.
-
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+//! One benchmark per paper table/figure: each measures the end-to-end
+//! time to *regenerate* that artifact (campaign + analysis + rendering)
+//! on a reduced-scale suite. The publication-scale artifacts come from
+//! the `table1`..`fig9` binaries; these benches track the cost of the
+//! pipeline itself.
+//!
+//! Runs on the in-repo harness (`cargo bench --offline`); JSON lands in
+//! `results/BENCH_tables.json`. `BENCH_SMOKE=1` for a one-iteration
+//! smoke pass.
 
 use cedar_apps::perfect_suite;
+use cedar_bench::harness::{black_box, Harness};
 use cedar_core::suite::SuiteResult;
 use cedar_hw::Configuration;
 
@@ -19,75 +22,58 @@ fn mini_campaign() -> SuiteResult {
     )
 }
 
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regenerate");
-    g.sample_size(10);
-    g.bench_function("table1_speedups", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::tables::table1(&suite))
-        })
+fn bench_tables(h: &mut Harness) {
+    h.bench("regenerate/table1_speedups", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::tables::table1(&suite))
     });
-    g.bench_function("table2_os_overheads", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::tables::table2(&suite))
-        })
+    h.bench("regenerate/table2_os_overheads", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::tables::table2(&suite))
     });
-    g.bench_function("table3_parallel_concurrency", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::tables::table3(&suite))
-        })
+    h.bench("regenerate/table3_parallel_concurrency", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::tables::table3(&suite))
     });
-    g.bench_function("table4_contention", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::tables::table4(&suite))
-        })
+    h.bench("regenerate/table4_contention", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::tables::table4(&suite))
     });
-    g.bench_function("fig3_ct_breakdown", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::figures::figure3(&suite))
-        })
+    h.bench("regenerate/fig3_ct_breakdown", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::figures::figure3(&suite))
     });
-    g.bench_function("fig5to9_user_breakdowns", |b| {
-        b.iter(|| {
-            let suite = mini_campaign();
-            black_box(cedar_report::figures::figures5to9(&suite))
-        })
+    h.bench("regenerate/fig5to9_user_breakdowns", || {
+        let suite = mini_campaign();
+        black_box(cedar_report::figures::figures5to9(&suite))
     });
-    g.finish();
 }
 
-fn bench_analysis_only(c: &mut Criterion) {
+fn bench_analysis_only(h: &mut Harness) {
     // Separate the analysis/rendering cost from the simulation cost.
     let suite = mini_campaign();
-    let mut g = c.benchmark_group("analysis_only");
-    g.bench_function("all_tables_and_figures", |b| {
-        b.iter(|| {
-            black_box((
-                cedar_report::tables::table1(&suite),
-                cedar_report::tables::table2(&suite),
-                cedar_report::tables::table3(&suite),
-                cedar_report::tables::table4(&suite),
-                cedar_report::figures::figure3(&suite),
-                cedar_report::figures::figures5to9(&suite),
-            ))
-        })
+    h.bench("analysis_only/all_tables_and_figures", || {
+        black_box((
+            cedar_report::tables::table1(&suite),
+            cedar_report::tables::table2(&suite),
+            cedar_report::tables::table3(&suite),
+            cedar_report::tables::table4(&suite),
+            cedar_report::figures::figure3(&suite),
+            cedar_report::figures::figures5to9(&suite),
+        ))
     });
-    g.bench_function("csv_exports", |b| {
-        b.iter(|| {
-            black_box((
-                cedar_report::csv::summary_csv(&suite),
-                cedar_report::csv::breakdown_csv(&suite),
-                cedar_report::csv::concurrency_csv(&suite),
-            ))
-        })
+    h.bench("analysis_only/csv_exports", || {
+        black_box((
+            cedar_report::csv::summary_csv(&suite),
+            cedar_report::csv::breakdown_csv(&suite),
+            cedar_report::csv::concurrency_csv(&suite),
+        ))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_analysis_only);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("tables");
+    bench_tables(&mut h);
+    bench_analysis_only(&mut h);
+    h.finish().expect("write bench JSON");
+}

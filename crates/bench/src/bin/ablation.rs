@@ -4,7 +4,7 @@
 //! clustering hardware during work distribution; the flat one pays at
 //! the global iteration lock.
 use cedar_apps::synthetic;
-use cedar_core::{Experiment, SimConfig};
+use cedar_core::{pool, Experiment, SimConfig};
 use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
@@ -15,11 +15,23 @@ fn main() {
         "config", "xdoall CT (s)", "sdoall CT (s)", "xdoall adv", "pickup x/s %"
     );
     println!("{}", "-".repeat(72));
-    for c in Configuration::ALL {
-        let flat = synthetic::uniform_xdoall(20, 2, 128, 1200, 8);
-        let hier = synthetic::uniform_sdoall(20, 2, 16, 8, 1200, 8);
-        let rf = Experiment::new(flat, SimConfig::cedar(c)).run();
-        let rh = Experiment::new(hier, SimConfig::cedar(c)).run();
+    let pairs = pool::run_jobs(
+        pool::default_workers(),
+        Configuration::ALL
+            .into_iter()
+            .map(|c| {
+                move || {
+                    let flat = synthetic::uniform_xdoall(20, 2, 128, 1200, 8);
+                    let hier = synthetic::uniform_sdoall(20, 2, 16, 8, 1200, 8);
+                    let rf = Experiment::new(flat, SimConfig::cedar(c)).run();
+                    let rh = Experiment::new(hier, SimConfig::cedar(c)).run();
+                    (rf, rh)
+                }
+            })
+            .collect(),
+    )
+    .expect("ablation experiment panicked");
+    for (c, (rf, rh)) in Configuration::ALL.into_iter().zip(&pairs) {
         let pick_x = rf
             .main_breakdown()
             .get(UserBucket::PickupXdoall)

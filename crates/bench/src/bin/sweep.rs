@@ -13,7 +13,7 @@
 
 use cedar_apps::synthetic;
 use cedar_core::methodology::contention_overhead;
-use cedar_core::{Experiment, SimConfig};
+use cedar_core::{pool, Experiment, SimConfig};
 use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
@@ -24,9 +24,21 @@ fn main() {
         "body (cy)", "CT (s)", "pickup %", "par-ov %"
     );
     println!("{}", "-".repeat(52));
-    for compute in [200u64, 500, 1_000, 2_000, 5_000, 10_000, 20_000] {
-        let app = synthetic::uniform_xdoall(4, 2, 64, compute, 8);
-        let run = Experiment::new(app, SimConfig::cedar(Configuration::P32)).run();
+    let computes = [200u64, 500, 1_000, 2_000, 5_000, 10_000, 20_000];
+    let runs = pool::run_jobs(
+        pool::default_workers(),
+        computes
+            .iter()
+            .map(|&compute| {
+                move || {
+                    let app = synthetic::uniform_xdoall(4, 2, 64, compute, 8);
+                    Experiment::new(app, SimConfig::cedar(Configuration::P32)).run()
+                }
+            })
+            .collect(),
+    )
+    .expect("sweep experiment panicked");
+    for (compute, run) in computes.iter().zip(&runs) {
         let pickup = run
             .main_breakdown()
             .get(UserBucket::PickupXdoall)
@@ -50,11 +62,24 @@ fn main() {
         "words/iter", "CT (s)", "Ov_cont %", "queue/packet"
     );
     println!("{}", "-".repeat(54));
-    for words in [0u32, 8, 16, 32, 64, 96] {
-        let mk = || synthetic::uniform_sdoall(4, 2, 8, 16, 400, words);
-        let base = Experiment::new(mk(), SimConfig::cedar(Configuration::P1)).run();
-        let run = Experiment::new(mk(), SimConfig::cedar(Configuration::P32)).run();
-        let ov = contention_overhead(&base, &run).overhead_pct;
+    let word_counts = [0u32, 8, 16, 32, 64, 96];
+    let pairs = pool::run_jobs(
+        pool::default_workers(),
+        word_counts
+            .iter()
+            .map(|&words| {
+                move || {
+                    let mk = || synthetic::uniform_sdoall(4, 2, 8, 16, 400, words);
+                    let base = Experiment::new(mk(), SimConfig::cedar(Configuration::P1)).run();
+                    let run = Experiment::new(mk(), SimConfig::cedar(Configuration::P32)).run();
+                    (base, run)
+                }
+            })
+            .collect(),
+    )
+    .expect("sweep experiment panicked");
+    for (words, (base, run)) in word_counts.iter().zip(&pairs) {
+        let ov = contention_overhead(base, run).overhead_pct;
         println!(
             "{:>12} | {:>10.4} | {:>10.1} | {:>14.2}",
             words,

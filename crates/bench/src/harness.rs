@@ -1,0 +1,275 @@
+//! A zero-dependency micro-benchmark harness.
+//!
+//! Replaces the former criterion benches so the workspace builds
+//! offline. Each benchmark runs a warmup phase followed by N timed
+//! iterations and reports min/median/mean/stddev wall times. Results
+//! print as an aligned table and are written as machine-readable JSON to
+//! `results/BENCH_<suite>.json` for trajectory tracking across commits.
+//!
+//! Environment knobs:
+//!
+//! * `BENCH_SMOKE=1` — one timed iteration, no warmup (CI smoke mode);
+//! * `BENCH_ITERS=n` — timed-iteration count (default 30);
+//! * `BENCH_WARMUP=n` — warmup-iteration count (default 5);
+//! * `BENCH_JSON_DIR=dir` — where the JSON lands (default: the
+//!   workspace-root `results/`).
+
+use std::hint::black_box as hint_black_box;
+use std::time::Instant;
+
+/// An opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint_black_box(x)
+}
+
+/// Summary statistics of one benchmark, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations measured.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min_ns: f64,
+    /// Slowest iteration.
+    pub max_ns: f64,
+    /// Median iteration.
+    pub median_ns: f64,
+    /// Mean iteration.
+    pub mean_ns: f64,
+    /// Population standard deviation.
+    pub stddev_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(name: &str, samples: &[f64]) -> BenchStats {
+        assert!(!samples.is_empty(), "benchmark ran zero iterations");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = sorted.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        };
+        BenchStats {
+            name: name.to_string(),
+            iters: n as u32,
+            min_ns: sorted[0],
+            max_ns: sorted[n - 1],
+            median_ns: median,
+            mean_ns: mean,
+            stddev_ns: var.sqrt(),
+        }
+    }
+
+    /// One JSON object, keys in stable order.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":{},\"iters\":{},\"min_ns\":{:.1},\"max_ns\":{:.1},\
+             \"median_ns\":{:.1},\"mean_ns\":{:.1},\"stddev_ns\":{:.1}}}",
+            json_string(&self.name),
+            self.iters,
+            self.min_ns,
+            self.max_ns,
+            self.median_ns,
+            self.mean_ns,
+            self.stddev_ns
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A suite of benchmarks sharing warmup/iteration settings.
+pub struct Harness {
+    suite: String,
+    warmup: u32,
+    iters: u32,
+    results: Vec<BenchStats>,
+}
+
+impl Harness {
+    /// Creates a harness for `suite`, reading iteration counts from the
+    /// environment (`BENCH_SMOKE`, `BENCH_ITERS`, `BENCH_WARMUP`).
+    pub fn new(suite: &str) -> Harness {
+        let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+        let (warmup, iters) = if smoke {
+            (0, 1)
+        } else {
+            (env_u32("BENCH_WARMUP", 5), env_u32("BENCH_ITERS", 30).max(1))
+        };
+        if smoke {
+            eprintln!("[{suite}] BENCH_SMOKE=1 — single iteration, timings not meaningful");
+        }
+        Harness {
+            suite: suite.to_string(),
+            warmup,
+            iters,
+            results: Vec::new(),
+        }
+    }
+
+    /// Runs one benchmark: `warmup` untimed calls, then `iters` timed
+    /// calls of `f`, and records the statistics.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &BenchStats {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            black_box(f());
+            samples.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        let stats = BenchStats::from_samples(name, &samples);
+        eprintln!(
+            "  {:<38} min {:>12} | median {:>12} | mean {:>12} ± {}",
+            stats.name,
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.stddev_ns),
+        );
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// The whole suite as a JSON document.
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self.results.iter().map(BenchStats::to_json).collect();
+        format!(
+            "{{\"suite\":{},\"warmup\":{},\"iters\":{},\"benchmarks\":[{}]}}\n",
+            json_string(&self.suite),
+            self.warmup,
+            self.iters,
+            body.join(",")
+        )
+    }
+
+    /// Writes `BENCH_<suite>.json` under `BENCH_JSON_DIR` (default: the
+    /// workspace-root `results/`, regardless of the bench cwd) and
+    /// returns the path written.
+    pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::env::var("BENCH_JSON_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+            });
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.suite));
+        std::fs::write(&path, self.to_json())?;
+        eprintln!("[{}] wrote {}", self.suite, path.display());
+        Ok(path)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(samples: &[f64]) -> BenchStats {
+        BenchStats::from_samples("t", samples)
+    }
+
+    #[test]
+    fn stats_on_known_samples() {
+        let s = stats(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.max_ns, 40.0);
+        assert_eq!(s.median_ns, 25.0);
+        assert_eq!(s.mean_ns, 25.0);
+        assert!((s.stddev_ns - 125.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn odd_sample_count_median_is_middle_element() {
+        assert_eq!(stats(&[5.0, 1.0, 3.0]).median_ns, 3.0);
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn harness_records_and_serializes() {
+        let mut h = Harness {
+            suite: "unit".into(),
+            warmup: 0,
+            iters: 3,
+            results: Vec::new(),
+        };
+        let mut calls = 0u32;
+        h.bench("counting", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3, "no warmup, three timed calls");
+        let json = h.to_json();
+        assert!(json.starts_with("{\"suite\":\"unit\""));
+        assert!(json.contains("\"name\":\"counting\""));
+        assert!(json.contains("\"median_ns\""));
+        assert!(json.contains("\"stddev_ns\""));
+    }
+
+    #[test]
+    fn bench_stats_are_ordered() {
+        let mut h = Harness {
+            suite: "unit".into(),
+            warmup: 0,
+            iters: 8,
+            results: Vec::new(),
+        };
+        let s = h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.max_ns);
+        assert!(s.min_ns <= s.mean_ns && s.mean_ns <= s.max_ns);
+        assert_eq!(s.iters, 8);
+    }
+}

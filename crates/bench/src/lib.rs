@@ -16,11 +16,19 @@
 //! | `ablation` | xdoall-vs-sdoall rewrite ablation (§6 suggestion)     |
 //!
 //! Set `CEDAR_SHRINK=<n>` to divide every time-step count by `n` for a
-//! quick (non-publication) pass.
+//! quick (non-publication) pass, and `CEDAR_WORKERS=<n>` to bound the
+//! worker pool that fans the campaign grid across cores.
+//!
+//! The former criterion benches now run on the in-repo [`harness`]
+//! (`cargo bench --offline`); `BENCH_SMOKE=1` reduces them to one
+//! iteration for CI.
+
+pub mod harness;
 
 use std::sync::OnceLock;
 
 use cedar_apps::AppSpec;
+use cedar_core::pool;
 use cedar_core::suite::SuiteResult;
 use cedar_hw::Configuration;
 
@@ -51,9 +59,11 @@ pub fn campaign() -> &'static SuiteResult {
         if f > 1 {
             eprintln!("note: CEDAR_SHRINK={f} — quick pass, not publication scale");
         }
-        eprintln!("running measurement campaign (5 apps x 5 configurations)...");
+        let workers = pool::default_workers();
+        eprintln!("running measurement campaign (5 apps x 5 configurations, {workers} workers)...");
         let t0 = std::time::Instant::now();
-        let suite = SuiteResult::measure(&suite_apps(), &Configuration::ALL);
+        let suite = SuiteResult::run_parallel(&suite_apps(), &Configuration::ALL, Some(workers))
+            .expect("campaign experiment panicked");
         eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
         suite
     })

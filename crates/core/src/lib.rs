@@ -34,12 +34,14 @@ pub mod layout;
 pub mod machine;
 pub mod methodology;
 pub mod metrics;
+pub mod pool;
 pub mod program;
 pub mod result;
 pub mod run;
 pub mod suite;
 
 pub use config::SimConfig;
+pub use pool::PoolError;
 pub use result::RunResult;
 pub use run::Experiment;
 pub use suite::{AppResults, SuiteResult};

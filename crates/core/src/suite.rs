@@ -1,13 +1,19 @@
 //! Running the full measurement campaign: five applications × five
 //! configurations, as the paper's tables require.
-
-use std::collections::BTreeMap;
+//!
+//! The grid can run sequentially ([`SuiteResult::run_sequential`]) or
+//! fanned out over a bounded worker pool
+//! ([`SuiteResult::run_parallel`]). Each `(application, configuration)`
+//! simulation is an isolated deterministic experiment, so the two paths
+//! produce identical results — the parallel path only changes wall-clock
+//! time, never the measurements.
 
 use cedar_apps::AppSpec;
 use cedar_hw::Configuration;
 
 use crate::config::SimConfig;
 use crate::machine::Machine;
+use crate::pool::{self, PoolError};
 use crate::result::RunResult;
 
 /// All configuration runs of one application.
@@ -41,44 +47,72 @@ pub struct SuiteResult {
     pub apps: Vec<AppResults>,
 }
 
-impl SuiteResult {
-    /// Runs `apps` on every configuration in `configurations`, using one
-    /// OS thread per (app, configuration) pair.
-    pub fn measure(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
-        let mut jobs: Vec<(usize, Configuration, AppSpec)> = Vec::new();
-        for (i, app) in apps.iter().enumerate() {
-            for &c in configurations {
-                jobs.push((i, c, app.clone()));
-            }
+/// The grid's job list: every `(app, configuration)` pair, apps-major,
+/// configurations in the order given. Both runner paths share it so the
+/// result ordering is identical by construction.
+fn grid(apps: &[AppSpec], configurations: &[Configuration]) -> Vec<(AppSpec, Configuration)> {
+    let mut jobs = Vec::with_capacity(apps.len() * configurations.len());
+    for app in apps {
+        for &c in configurations {
+            jobs.push((app.clone(), c));
         }
-        let mut results: BTreeMap<(usize, usize), RunResult> = std::thread::scope(|s| {
-            let handles: Vec<_> = jobs
-                .into_iter()
-                .map(|(i, c, app)| {
-                    s.spawn(move || {
-                        let cfg = SimConfig::cedar(c);
-                        let run = Machine::new(&app, cfg).run();
-                        let ci = Configuration::ALL.iter().position(|x| *x == c).unwrap();
-                        ((i, ci), run)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("run panicked"))
-                .collect()
+    }
+    jobs
+}
+
+/// Folds a flat grid of runs (in `grid` order) back into per-app groups.
+fn regroup(apps: &[AppSpec], per_app: usize, mut runs: Vec<RunResult>) -> Vec<AppResults> {
+    let mut out = Vec::with_capacity(apps.len());
+    for app in apps.iter().rev() {
+        let rest = runs.split_off(runs.len() - per_app);
+        out.push(AppResults {
+            app: app.name,
+            runs: rest,
         });
-        let apps_out = apps
-            .iter()
-            .enumerate()
-            .map(|(i, app)| AppResults {
-                app: app.name,
-                runs: (0..Configuration::ALL.len())
-                    .filter_map(|ci| results.remove(&(i, ci)))
-                    .collect(),
-            })
+    }
+    out.reverse();
+    out
+}
+
+impl SuiteResult {
+    /// Runs `apps` on every configuration in `configurations`, one
+    /// experiment at a time on the calling thread. This is the reference
+    /// path the parallel runner is checked against.
+    pub fn run_sequential(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
+        let runs = grid(apps, configurations)
+            .into_iter()
+            .map(|(app, c)| Machine::new(&app, SimConfig::cedar(c)).run())
             .collect();
-        SuiteResult { apps: apps_out }
+        SuiteResult {
+            apps: regroup(apps, configurations.len(), runs),
+        }
+    }
+
+    /// Runs the same grid fanned out over `workers` pool threads
+    /// (`None` → [`pool::default_workers`]). Results come back in the
+    /// same deterministic order as [`SuiteResult::run_sequential`]; a
+    /// panicking experiment surfaces as `Err` instead of aborting the
+    /// process or hanging the pool.
+    pub fn run_parallel(
+        apps: &[AppSpec],
+        configurations: &[Configuration],
+        workers: Option<usize>,
+    ) -> Result<SuiteResult, PoolError> {
+        let jobs: Vec<_> = grid(apps, configurations)
+            .into_iter()
+            .map(|(app, c)| move || Machine::new(&app, SimConfig::cedar(c)).run())
+            .collect();
+        let runs = pool::run_jobs(workers.unwrap_or_else(pool::default_workers), jobs)?;
+        Ok(SuiteResult {
+            apps: regroup(apps, configurations.len(), runs),
+        })
+    }
+
+    /// Runs `apps` on every configuration in `configurations` across the
+    /// default worker pool, panicking if an experiment panics. The
+    /// convenience entry point for tools and tests.
+    pub fn measure(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
+        SuiteResult::run_parallel(apps, configurations, None).expect("experiment panicked")
     }
 
     /// Runs the full campaign: the five Perfect applications on all five

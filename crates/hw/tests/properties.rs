@@ -1,11 +1,11 @@
 //! Property tests of the hardware models against simple reference
-//! semantics.
+//! semantics, driven by the in-repo `SplitMix64` generator with fixed
+//! seeds (reproducible, zero external crates).
 
 use cedar_hw::module::MemoryModule;
 use cedar_hw::switch::PortServer;
 use cedar_hw::{GlobalAddr, MemOp, VectorAccess};
-use cedar_sim::Cycles;
-use proptest::prelude::*;
+use cedar_sim::{Cycles, SplitMix64};
 use std::collections::HashMap;
 
 /// A memory-module op for generation.
@@ -18,21 +18,29 @@ enum Op {
     FetchAdd(u64, i64),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u64..8).prop_map(Op::Read),
-        (0u64..8, 0u64..100).prop_map(|(a, v)| Op::Write(a, v)),
-        (0u64..8).prop_map(Op::Tas),
-        (0u64..8).prop_map(Op::Unset),
-        (0u64..8, -3i64..4).prop_map(|(a, d)| Op::FetchAdd(a, d)),
-    ]
+fn arb_op(rng: &mut SplitMix64) -> Op {
+    match rng.next_below(5) {
+        0 => Op::Read(rng.next_below(8)),
+        1 => Op::Write(rng.next_below(8), rng.next_below(100)),
+        2 => Op::Tas(rng.next_below(8)),
+        3 => Op::Unset(rng.next_below(8)),
+        _ => Op::FetchAdd(rng.next_below(8), rng.next_range(0, 6) as i64 - 3),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A random sorted arrival schedule of `1..max_len` times below `bound`.
+fn arb_arrivals(rng: &mut SplitMix64, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = rng.next_range(1, max_len - 1) as usize;
+    let mut arrivals: Vec<u64> = (0..len).map(|_| rng.next_below(bound)).collect();
+    arrivals.sort_unstable();
+    arrivals
+}
 
-    #[test]
-    fn module_matches_reference_semantics(ops in prop::collection::vec(arb_op(), 0..200)) {
+#[test]
+fn module_matches_reference_semantics() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xA000 + seed);
+        let ops: Vec<Op> = (0..rng.next_below(200)).map(|_| arb_op(&mut rng)).collect();
         let mut module = MemoryModule::new(Cycles(4), Cycles(8));
         let mut reference: HashMap<u64, u64> = HashMap::new();
         let mut now = Cycles(0);
@@ -60,67 +68,72 @@ proptest! {
                 }
             };
             let (_, value) = module.serve(dword, memop, now);
-            prop_assert_eq!(value, expected);
+            assert_eq!(value, expected, "seed {seed}");
         }
         for (a, v) in reference {
-            prop_assert_eq!(module.peek(a), v);
+            assert_eq!(module.peek(a), v, "seed {seed} addr {a}");
         }
     }
+}
 
-    #[test]
-    fn module_service_is_fcfs_and_work_conserving(
-        arrivals in prop::collection::vec(0u64..1000, 1..100)
-    ) {
-        let mut sorted = arrivals.clone();
-        sorted.sort_unstable();
+#[test]
+fn module_service_is_fcfs_and_work_conserving() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xB000 + seed);
+        let sorted = arb_arrivals(&mut rng, 100, 1000);
         let mut module = MemoryModule::new(Cycles(4), Cycles(8));
         let mut last_ready = Cycles(0);
         for (i, &t) in sorted.iter().enumerate() {
             let (ready, _) = module.serve(i as u64, MemOp::Read, Cycles(t));
             // Responses come back in arrival order...
-            prop_assert!(ready >= last_ready);
+            assert!(ready >= last_ready, "seed {seed}");
             // ...never earlier than the uncontended latency...
-            prop_assert!(ready >= Cycles(t + 12));
+            assert!(ready >= Cycles(t + 12), "seed {seed}");
             // ...and the server is work-conserving: busy time equals
             // requests * service.
             last_ready = ready;
         }
-        prop_assert_eq!(module.busy(), Cycles(4 * sorted.len() as u64));
+        assert_eq!(module.busy(), Cycles(4 * sorted.len() as u64), "seed {seed}");
     }
+}
 
-    #[test]
-    fn port_server_departures_are_spaced_by_occupancy(
-        arrivals in prop::collection::vec(0u64..500, 1..100)
-    ) {
-        let mut sorted = arrivals.clone();
-        sorted.sort_unstable();
+#[test]
+fn port_server_departures_are_spaced_by_occupancy() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xC000 + seed);
+        let sorted = arb_arrivals(&mut rng, 100, 500);
         let mut port = PortServer::new();
         let mut last = Cycles(0);
         for &t in &sorted {
             let through = port.accept(Cycles(t), Cycles(1));
-            prop_assert!(through >= last + Cycles(1) || last == Cycles(0));
-            prop_assert!(through >= Cycles(t + 1));
+            assert!(
+                through >= last + Cycles(1) || last == Cycles(0),
+                "seed {seed}"
+            );
+            assert!(through >= Cycles(t + 1), "seed {seed}");
             last = through;
         }
-        prop_assert_eq!(port.packets(), sorted.len() as u64);
-        prop_assert_eq!(port.busy(), Cycles(sorted.len() as u64));
+        assert_eq!(port.packets(), sorted.len() as u64, "seed {seed}");
+        assert_eq!(port.busy(), Cycles(sorted.len() as u64), "seed {seed}");
     }
+}
 
-    #[test]
-    fn vector_addresses_stay_in_span(
-        words in 1u32..64,
-        stride in 1u64..16,
-        base in 0u64..4096,
-    ) {
+#[test]
+fn vector_addresses_stay_in_span() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::new(0xD000 + seed);
+        let words = rng.next_range(1, 63) as u32;
+        let stride = rng.next_range(1, 15);
+        let base = rng.next_below(4096);
         let v = VectorAccess::read(GlobalAddr(base * 8), words, stride);
         let addrs: Vec<_> = v.addresses().collect();
-        prop_assert_eq!(addrs.len(), words as usize);
-        prop_assert_eq!(addrs[0], v.base);
+        assert_eq!(addrs.len(), words as usize, "seed {seed}");
+        assert_eq!(addrs[0], v.base, "seed {seed}");
         let last = addrs.last().unwrap();
-        prop_assert_eq!(last.0 - v.base.0 + 8, v.span_bytes());
+        assert_eq!(last.0 - v.base.0 + 8, v.span_bytes(), "seed {seed}");
         // Distinct modules never exceed the word count or module count.
         let touched = v.modules_touched(32);
-        prop_assert!(touched <= 32);
-        prop_assert!(touched <= words as usize);
+        assert!(touched <= 32, "seed {seed}");
+        assert!(touched <= words as usize, "seed {seed}");
     }
 }

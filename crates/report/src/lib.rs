@@ -17,11 +17,15 @@
 //!
 //! [`table::TextTable`] is the generic aligned-text backend and
 //! [`csv`] provides machine-readable output for downstream plotting.
+//! [`golden`] locks the rendered artifacts down with checked-in text
+//! snapshots (`UPDATE_GOLDEN=1` re-records them).
 
 pub mod csv;
 pub mod figures;
+pub mod golden;
 pub mod paper;
 pub mod table;
 pub mod tables;
 
+pub use golden::GoldenStatus;
 pub use table::TextTable;

@@ -2,14 +2,14 @@
 //! arbitrary interleavings of competing claimers.
 //!
 //! A tiny shared-memory referee executes the word operations the
-//! claimers emit, one at a time in a proptest-chosen order. Whatever the
+//! claimers emit, one at a time in a randomly chosen order (fixed-seed
+//! `SplitMix64`, so every interleaving is reproducible). Whatever the
 //! interleaving, every iteration must be claimed exactly once and the
 //! lock must never be held by two claimers.
 
 use cedar_hw::MemOp;
 use cedar_rtl::{ClaimStep, IterClaimer, RtlWords};
-use cedar_sim::Cycles;
-use proptest::prelude::*;
+use cedar_sim::{Cycles, SplitMix64};
 
 /// Shared "memory" for lock and index words.
 struct Referee {
@@ -106,19 +106,20 @@ impl Driver {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn every_iteration_claimed_exactly_once() {
+    for seed in 0..48u64 {
+        let mut rng = SplitMix64::new(0xE000 + seed);
+        let n_claimers = rng.next_range(2, 5) as usize;
+        let total = rng.next_range(1, 23) as u32;
+        let schedule: Vec<usize> = (0..rng.next_below(600))
+            .map(|_| rng.next_below(6) as usize)
+            .collect();
 
-    #[test]
-    fn every_iteration_claimed_exactly_once(
-        n_claimers in 2usize..6,
-        total in 1u32..24,
-        schedule in prop::collection::vec(0usize..6, 0..600),
-    ) {
         let mut referee = Referee { lock: 0, index: 0, holder: None };
         let mut drivers: Vec<Driver> = (0..n_claimers).map(|_| Driver::new(total)).collect();
 
-        // Drive the proptest-chosen interleaving, then round-robin until
+        // Drive the randomly chosen interleaving, then round-robin until
         // everyone exhausts.
         for &pick in &schedule {
             let who = pick % n_claimers;
@@ -130,30 +131,32 @@ proptest! {
                 driver.step(who, &mut referee);
             }
             guard += 1;
-            prop_assert!(guard < 10_000, "protocol wedged");
+            assert!(guard < 10_000, "seed {seed}: protocol wedged");
         }
 
         // Exactly-once coverage.
         let mut all: Vec<u32> = drivers.iter().flat_map(|d| d.claimed.clone()).collect();
         all.sort_unstable();
         let expected: Vec<u32> = (0..total).collect();
-        prop_assert_eq!(all, expected);
+        assert_eq!(all, expected, "seed {seed}");
         // Lock released at the end.
-        prop_assert_eq!(referee.lock, 0);
-        prop_assert!(referee.holder.is_none());
+        assert_eq!(referee.lock, 0, "seed {seed}");
+        assert!(referee.holder.is_none(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn single_claimer_claims_in_ascending_order(total in 1u32..50) {
+#[test]
+fn single_claimer_claims_in_ascending_order() {
+    for total in 1u32..50 {
         let mut referee = Referee { lock: 0, index: 0, holder: None };
         let mut d = Driver::new(total);
         let mut guard = 0;
         while !d.done {
             d.step(0, &mut referee);
             guard += 1;
-            prop_assert!(guard < 10_000);
+            assert!(guard < 10_000);
         }
         let expected: Vec<u32> = (0..total).collect();
-        prop_assert_eq!(d.claimed, expected);
+        assert_eq!(d.claimed, expected);
     }
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# CI entry point: the offline-build guarantee, the full test suite, and
+# a one-iteration smoke pass of the bench harness.
+#
+# The workspace has zero external dependencies, so every step runs with
+# --offline and must succeed with no registry or network access. If an
+# external crate ever sneaks into a Cargo.toml, the first build step
+# fails here before anything else runs.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline (workspace, debug)"
+cargo test -q --offline --workspace
+
+echo "==> bench harness smoke pass (BENCH_SMOKE=1: 1 iteration, no warmup)"
+BENCH_SMOKE=1 cargo bench --offline -p cedar-bench
+
+echo "==> OK"

@@ -4,132 +4,160 @@
 //! respect the conservation laws of the simulator: each iteration
 //! executes exactly once, accounting never exceeds the wall clock, and
 //! identical inputs give identical traces.
+//!
+//! Randomness comes from the in-repo `SplitMix64` generator with fixed
+//! seeds — no external crates, and the same seed always produces the
+//! same program, so every failure is reproducible from the seed printed
+//! in the assertion message.
 
-use cedar::apps::{AccessPattern, AppBuilder, BodySpec};
+use cedar::apps::{AccessPattern, AppBuilder, AppSpec, BodySpec};
 use cedar::core::{Experiment, SimConfig};
 use cedar::hw::route::DeltaGeometry;
 use cedar::hw::Configuration;
-use proptest::prelude::*;
+use cedar::sim::SplitMix64;
 
-/// A small random loop-parallel program.
-fn arb_app() -> impl Strategy<Value = cedar::apps::AppSpec> {
-    (
-        1u32..=2,    // serial kilocycles
-        1u32..=3,    // loops
-        prop::bool::ANY, // xdoall vs sdoall
-        2u32..=12,   // outer / flat iterations
-        1u32..=12,   // inner iterations
-        50u64..=600, // body compute
-        0u32..=12,   // words per access
-        0u8..=20,    // jitter
-    )
-        .prop_map(
-            |(serial_k, loops, flat, outer, inner, compute, words, jitter)| {
-                let mut b = AppBuilder::new("PROP").array("data", 256 * 1024);
-                b = b.repeat(1, |mut rb| {
-                    rb = rb.serial(serial_k as u64 * 1000);
-                    for _ in 0..loops {
-                        let mut body = BodySpec::compute(compute).with_jitter(jitter);
-                        if words > 0 {
-                            body = body.with_access(AccessPattern::sweep(0, words));
-                        }
-                        rb = if flat {
-                            rb.xdoall(outer * inner, body)
-                        } else {
-                            rb.sdoall(outer, inner, body)
-                        };
-                    }
-                    rb
-                });
-                b.build()
-            },
-        )
+/// A small random loop-parallel program, drawn from `rng`.
+fn arb_app(rng: &mut SplitMix64) -> AppSpec {
+    let serial_k = rng.next_range(1, 2);
+    let loops = rng.next_range(1, 3);
+    let flat = rng.next_u64() % 2 == 0; // xdoall vs sdoall
+    let outer = rng.next_range(2, 12) as u32;
+    let inner = rng.next_range(1, 12) as u32;
+    let compute = rng.next_range(50, 600);
+    let words = rng.next_range(0, 12) as u32;
+    let jitter = rng.next_range(0, 20) as u8;
+
+    let mut b = AppBuilder::new("PROP").array("data", 256 * 1024);
+    b = b.repeat(1, |mut rb| {
+        rb = rb.serial(serial_k * 1000);
+        for _ in 0..loops {
+            let mut body = BodySpec::compute(compute).with_jitter(jitter);
+            if words > 0 {
+                body = body.with_access(AccessPattern::sweep(0, words));
+            }
+            rb = if flat {
+                rb.xdoall(outer * inner, body)
+            } else {
+                rb.sdoall(outer, inner, body)
+            };
+        }
+        rb
+    });
+    b.build()
 }
 
-fn configs() -> impl Strategy<Value = Configuration> {
-    prop::sample::select(vec![
+/// A random multiprocessor configuration, drawn from `rng`.
+fn arb_config(rng: &mut SplitMix64) -> Configuration {
+    let choices = [
         Configuration::P1,
         Configuration::P4,
         Configuration::P8,
         Configuration::P16,
-    ])
+    ];
+    choices[rng.next_below(choices.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Runs `check` on `cases` seed-derived (app, configuration) pairs.
+fn for_random_workloads(salt: u64, cases: u64, mut check: impl FnMut(u64, AppSpec, Configuration)) {
+    for case in 0..cases {
+        let mut rng = SplitMix64::new(salt.wrapping_mul(0x9E37_79B9).wrapping_add(case));
+        let app = arb_app(&mut rng);
+        let c = arb_config(&mut rng);
+        check(case, app, c);
+    }
+}
 
-    #[test]
-    fn every_iteration_executes_exactly_once(app in arb_app(), c in configs()) {
+#[test]
+fn every_iteration_executes_exactly_once() {
+    for_random_workloads(1, 12, |case, app, c| {
         let expected = app.total_bodies();
         let run = Experiment::new(app, SimConfig::cedar(c)).run();
-        prop_assert_eq!(run.bodies, expected);
-    }
+        assert_eq!(run.bodies, expected, "case {case} on {}", c.label());
+    });
+}
 
-    #[test]
-    fn identical_runs_are_bit_identical(app in arb_app(), c in configs()) {
+#[test]
+fn identical_runs_are_bit_identical() {
+    for_random_workloads(2, 12, |case, app, c| {
         let a = Experiment::new(app.clone(), SimConfig::cedar(c)).run();
         let b = Experiment::new(app, SimConfig::cedar(c)).run();
-        prop_assert_eq!(a.completion_time, b.completion_time);
-        prop_assert_eq!(a.events, b.events);
-        prop_assert_eq!(a.gmem.packets, b.gmem.packets);
-        prop_assert_eq!(a.faults, b.faults);
-    }
+        assert_eq!(a.completion_time, b.completion_time, "case {case}");
+        assert_eq!(a.events, b.events, "case {case}");
+        assert_eq!(a.gmem.packets, b.gmem.packets, "case {case}");
+        assert_eq!(a.faults, b.faults, "case {case}");
+    });
+}
 
-    #[test]
-    fn breakdown_never_exceeds_completion_time(app in arb_app(), c in configs()) {
+#[test]
+fn breakdown_never_exceeds_completion_time() {
+    for_random_workloads(3, 12, |case, app, c| {
         let run = Experiment::new(app, SimConfig::cedar(c)).run();
         for b in &run.breakdowns {
-            prop_assert!(b.total() <= run.completion_time,
-                "task user time {} > CT {}", b.total(), run.completion_time);
+            assert!(
+                b.total() <= run.completion_time,
+                "case {case} on {}: task user time {} > CT {}",
+                c.label(),
+                b.total(),
+                run.completion_time
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn more_processors_never_lose_badly(app in arb_app()) {
-        // Parallel runs may not beat 1p on degenerate programs, but they
-        // must never be dramatically slower (protocol costs are bounded).
+#[test]
+fn more_processors_never_lose_badly() {
+    // Parallel runs may not beat 1p on degenerate programs, but they
+    // must never be dramatically slower (protocol costs are bounded).
+    for_random_workloads(4, 12, |case, app, _| {
         let base = Experiment::new(app.clone(), SimConfig::cedar(Configuration::P1)).run();
         let p8 = Experiment::new(app, SimConfig::cedar(Configuration::P8)).run();
-        prop_assert!(
+        assert!(
             p8.completion_time.0 <= base.completion_time.0 * 2,
-            "8p run more than 2x slower than 1p"
+            "case {case}: 8p run more than 2x slower than 1p"
         );
-    }
+    });
+}
 
-    #[test]
-    fn concurrency_bounded_by_active_processors(app in arb_app(), c in configs()) {
+#[test]
+fn concurrency_bounded_by_active_processors() {
+    for_random_workloads(5, 12, |case, app, c| {
         let run = Experiment::new(app, SimConfig::cedar(c)).run();
         let total = run.total_concurrency();
-        prop_assert!(total <= c.total_ces() as f64 + 1e-9);
-        prop_assert!(total > 0.0);
+        assert!(
+            total <= c.total_ces() as f64 + 1e-9,
+            "case {case} on {}: concurrency {total}",
+            c.label()
+        );
+        assert!(total > 0.0, "case {case}");
+    });
+}
+
+#[test]
+fn delta_routing_is_well_formed() {
+    let g = DeltaGeometry::cedar();
+    for src in 0u16..32 {
+        for dst in 0u16..32 {
+            // Stage-1 port leads to the stage-2 switch serving dst.
+            assert_eq!(g.stage1_port(dst) % g.switches_per_stage(), g.stage2_switch(dst));
+            // Output port identifies the destination within its switch.
+            assert_eq!(g.stage2_switch(dst) * g.radix() + g.stage2_port(dst), dst);
+            // Sources attach to exactly one stage-1 switch.
+            assert!(g.stage1_switch(src) < g.switches_per_stage());
+        }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn delta_routing_is_well_formed(src in 0u16..32, dst in 0u16..32) {
-        let g = DeltaGeometry::cedar();
-        // Stage-1 port leads to the stage-2 switch serving dst.
-        prop_assert_eq!(g.stage1_port(dst) % g.switches_per_stage(), g.stage2_switch(dst));
-        // Output port identifies the destination within its switch.
-        prop_assert_eq!(
-            g.stage2_switch(dst) * g.radix() + g.stage2_port(dst),
-            dst
-        );
-        // Sources attach to exactly one stage-1 switch.
-        prop_assert!(g.stage1_switch(src) < g.switches_per_stage());
-    }
-
-    #[test]
-    fn interleaving_covers_all_modules_uniformly(start in 0u64..4096) {
-        use cedar::hw::GlobalAddr;
-        // Any 32 consecutive double words hit all 32 modules exactly once.
+#[test]
+fn interleaving_covers_all_modules_uniformly() {
+    use cedar::hw::GlobalAddr;
+    // Any 32 consecutive double words hit all 32 modules exactly once.
+    let mut rng = SplitMix64::new(6);
+    for _ in 0..64 {
+        let start = rng.next_below(4096);
         let mut seen = [false; 32];
         for k in 0..32u64 {
             let m = GlobalAddr((start + k) * 8).module(32).0 as usize;
-            prop_assert!(!seen[m], "module {} hit twice", m);
+            assert!(!seen[m], "module {m} hit twice from start {start}");
             seen[m] = true;
         }
     }
