@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-2c29ff16d18adf09.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-2c29ff16d18adf09: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-e27c4a4daeb2b801.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-e27c4a4daeb2b801: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-4f11934f756a7cd9.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-4f11934f756a7cd9: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all-8c36727a19de46e5.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/debug/deps/all-8c36727a19de46e5: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cedar-1a4d575df05573a9.d: src/lib.rs
+
+/root/repo/target/debug/deps/cedar-1a4d575df05573a9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cedar-9ce4b63face31436.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcedar-9ce4b63face31436.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcedar-9ce4b63face31436.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cedar_apps-7d32dff0a2082732.d: crates/apps/src/lib.rs crates/apps/src/adm.rs crates/apps/src/arc2d.rs crates/apps/src/builder.rs crates/apps/src/flo52.rs crates/apps/src/mdg.rs crates/apps/src/ocean.rs crates/apps/src/spec.rs crates/apps/src/suite.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libcedar_apps-7d32dff0a2082732.rlib: crates/apps/src/lib.rs crates/apps/src/adm.rs crates/apps/src/arc2d.rs crates/apps/src/builder.rs crates/apps/src/flo52.rs crates/apps/src/mdg.rs crates/apps/src/ocean.rs crates/apps/src/spec.rs crates/apps/src/suite.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/libcedar_apps-7d32dff0a2082732.rmeta: crates/apps/src/lib.rs crates/apps/src/adm.rs crates/apps/src/arc2d.rs crates/apps/src/builder.rs crates/apps/src/flo52.rs crates/apps/src/mdg.rs crates/apps/src/ocean.rs crates/apps/src/spec.rs crates/apps/src/suite.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/adm.rs:
+crates/apps/src/arc2d.rs:
+crates/apps/src/builder.rs:
+crates/apps/src/flo52.rs:
+crates/apps/src/mdg.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/suite.rs:
+crates/apps/src/synthetic.rs:

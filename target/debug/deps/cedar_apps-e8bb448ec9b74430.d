@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cedar_apps-e8bb448ec9b74430.d: crates/apps/src/lib.rs crates/apps/src/adm.rs crates/apps/src/arc2d.rs crates/apps/src/builder.rs crates/apps/src/flo52.rs crates/apps/src/mdg.rs crates/apps/src/ocean.rs crates/apps/src/spec.rs crates/apps/src/suite.rs crates/apps/src/synthetic.rs
+
+/root/repo/target/debug/deps/cedar_apps-e8bb448ec9b74430: crates/apps/src/lib.rs crates/apps/src/adm.rs crates/apps/src/arc2d.rs crates/apps/src/builder.rs crates/apps/src/flo52.rs crates/apps/src/mdg.rs crates/apps/src/ocean.rs crates/apps/src/spec.rs crates/apps/src/suite.rs crates/apps/src/synthetic.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/adm.rs:
+crates/apps/src/arc2d.rs:
+crates/apps/src/builder.rs:
+crates/apps/src/flo52.rs:
+crates/apps/src/mdg.rs:
+crates/apps/src/ocean.rs:
+crates/apps/src/spec.rs:
+crates/apps/src/suite.rs:
+crates/apps/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cedar_bench-293b0fae054a5fce.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcedar_bench-293b0fae054a5fce.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcedar_bench-293b0fae054a5fce.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cedar_bench-39f8222254232a8b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/cedar_bench-39f8222254232a8b: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

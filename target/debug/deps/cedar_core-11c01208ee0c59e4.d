@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/cedar_core-11c01208ee0c59e4.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/machine/tests.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/cedar_core-11c01208ee0c59e4: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/machine/tests.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/machine/mod.rs:
+crates/core/src/machine/exec.rs:
+crates/core/src/machine/os.rs:
+crates/core/src/machine/state.rs:
+crates/core/src/machine/tests.rs:
+crates/core/src/methodology/mod.rs:
+crates/core/src/methodology/conc.rs:
+crates/core/src/methodology/contention.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pool.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/run.rs:
+crates/core/src/suite.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/cedar_core-c8ceca1c4a97bf71.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/libcedar_core-c8ceca1c4a97bf71.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+/root/repo/target/debug/deps/libcedar_core-c8ceca1c4a97bf71.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/machine/mod.rs:
+crates/core/src/machine/exec.rs:
+crates/core/src/machine/os.rs:
+crates/core/src/machine/state.rs:
+crates/core/src/methodology/mod.rs:
+crates/core/src/methodology/conc.rs:
+crates/core/src/methodology/contention.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pool.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/run.rs:
+crates/core/src/suite.rs:

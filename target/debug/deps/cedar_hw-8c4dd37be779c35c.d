@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cedar_hw-8c4dd37be779c35c.d: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+/root/repo/target/debug/deps/libcedar_hw-8c4dd37be779c35c.rlib: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+/root/repo/target/debug/deps/libcedar_hw-8c4dd37be779c35c.rmeta: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/addr.rs:
+crates/hw/src/analytic.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/cbus.rs:
+crates/hw/src/ce.rs:
+crates/hw/src/config.rs:
+crates/hw/src/gmem.rs:
+crates/hw/src/module.rs:
+crates/hw/src/net.rs:
+crates/hw/src/packet.rs:
+crates/hw/src/route.rs:
+crates/hw/src/switch.rs:
+crates/hw/src/topology.rs:
+crates/hw/src/vector.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cedar_report-0da3633145879f56.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+/root/repo/target/debug/deps/libcedar_report-0da3633145879f56.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+/root/repo/target/debug/deps/libcedar_report-0da3633145879f56.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/figures.rs:
+crates/report/src/golden.rs:
+crates/report/src/paper.rs:
+crates/report/src/table.rs:
+crates/report/src/tables.rs:

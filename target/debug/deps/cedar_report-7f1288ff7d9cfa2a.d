@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cedar_report-7f1288ff7d9cfa2a.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+/root/repo/target/debug/deps/cedar_report-7f1288ff7d9cfa2a: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/figures.rs:
+crates/report/src/golden.rs:
+crates/report/src/paper.rs:
+crates/report/src/table.rs:
+crates/report/src/tables.rs:

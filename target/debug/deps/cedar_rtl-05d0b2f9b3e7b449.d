@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cedar_rtl-05d0b2f9b3e7b449.d: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+/root/repo/target/debug/deps/cedar_rtl-05d0b2f9b3e7b449: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/activity.rs:
+crates/rtl/src/barrier.rs:
+crates/rtl/src/combining.rs:
+crates/rtl/src/config.rs:
+crates/rtl/src/doacross.rs:
+crates/rtl/src/loops.rs:
+crates/rtl/src/sched.rs:
+crates/rtl/src/words.rs:

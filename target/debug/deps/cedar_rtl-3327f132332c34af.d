@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cedar_rtl-3327f132332c34af.d: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+/root/repo/target/debug/deps/libcedar_rtl-3327f132332c34af.rlib: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+/root/repo/target/debug/deps/libcedar_rtl-3327f132332c34af.rmeta: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/activity.rs:
+crates/rtl/src/barrier.rs:
+crates/rtl/src/combining.rs:
+crates/rtl/src/config.rs:
+crates/rtl/src/doacross.rs:
+crates/rtl/src/loops.rs:
+crates/rtl/src/sched.rs:
+crates/rtl/src/words.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cedar_sim-1492bd1434c59331.d: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libcedar_sim-1492bd1434c59331.rlib: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libcedar_sim-1492bd1434c59331.rmeta: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/outbox.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cedar_sim-788a8a4199b48195.d: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/cedar_sim-788a8a4199b48195: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/outbox.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cedar_trace-f291602df03ef30b.d: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+/root/repo/target/debug/deps/libcedar_trace-f291602df03ef30b.rlib: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+/root/repo/target/debug/deps/libcedar_trace-f291602df03ef30b.rmeta: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/breakdown.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/hpm.rs:
+crates/trace/src/intervals.rs:
+crates/trace/src/qmon.rs:
+crates/trace/src/statfx.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cedar_trace-f380a4e5a36dd820.d: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+/root/repo/target/debug/deps/cedar_trace-f380a4e5a36dd820: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/breakdown.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/hpm.rs:
+crates/trace/src/intervals.rs:
+crates/trace/src/qmon.rs:
+crates/trace/src/statfx.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cedar_xylem-47f9ae45511e3052.d: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+/root/repo/target/debug/deps/libcedar_xylem-47f9ae45511e3052.rlib: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+/root/repo/target/debug/deps/libcedar_xylem-47f9ae45511e3052.rmeta: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+crates/xylem/src/lib.rs:
+crates/xylem/src/accounting.rs:
+crates/xylem/src/background.rs:
+crates/xylem/src/config.rs:
+crates/xylem/src/daemon.rs:
+crates/xylem/src/locks.rs:
+crates/xylem/src/syscall.rs:
+crates/xylem/src/vm.rs:

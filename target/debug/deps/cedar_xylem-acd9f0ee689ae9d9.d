@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cedar_xylem-acd9f0ee689ae9d9.d: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+/root/repo/target/debug/deps/cedar_xylem-acd9f0ee689ae9d9: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+crates/xylem/src/lib.rs:
+crates/xylem/src/accounting.rs:
+crates/xylem/src/background.rs:
+crates/xylem/src/config.rs:
+crates/xylem/src/daemon.rs:
+crates/xylem/src/locks.rs:
+crates/xylem/src/syscall.rs:
+crates/xylem/src/vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/combining-63c7c02b9c915484.d: crates/bench/src/bin/combining.rs
+
+/root/repo/target/debug/deps/combining-63c7c02b9c915484: crates/bench/src/bin/combining.rs
+
+crates/bench/src/bin/combining.rs:

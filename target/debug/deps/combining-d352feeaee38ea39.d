@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/combining-d352feeaee38ea39.d: crates/bench/src/bin/combining.rs
+
+/root/repo/target/debug/deps/combining-d352feeaee38ea39: crates/bench/src/bin/combining.rs
+
+crates/bench/src/bin/combining.rs:

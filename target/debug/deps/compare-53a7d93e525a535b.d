@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-53a7d93e525a535b.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-53a7d93e525a535b: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compare-e28a846dd9d88010.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/debug/deps/compare-e28a846dd9d88010: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

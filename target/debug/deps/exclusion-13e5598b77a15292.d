@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exclusion-13e5598b77a15292.d: crates/rtl/tests/exclusion.rs
+
+/root/repo/target/debug/deps/exclusion-13e5598b77a15292: crates/rtl/tests/exclusion.rs
+
+crates/rtl/tests/exclusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-8013ed5f71ed21d4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-8013ed5f71ed21d4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-87532350c4614426.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-87532350c4614426: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b2a9b668863d3c85.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b2a9b668863d3c85: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f21d0600df00dd50.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f21d0600df00dd50: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-f45d7b57a597502d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-f45d7b57a597502d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-d677ff0de3909407.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-d677ff0de3909407: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-dc7149f57cef4889.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-dc7149f57cef4889: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

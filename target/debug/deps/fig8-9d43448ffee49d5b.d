@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9d43448ffee49d5b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-9d43448ffee49d5b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-de472bb984179dac.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-de472bb984179dac: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a48fe1232c8830fc.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a48fe1232c8830fc: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-e73557e79c671b0a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-e73557e79c671b0a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

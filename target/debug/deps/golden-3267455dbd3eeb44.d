@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden-3267455dbd3eeb44.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-3267455dbd3eeb44: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspot-25a70039f136766a.d: crates/bench/src/bin/hotspot.rs
+
+/root/repo/target/debug/deps/hotspot-25a70039f136766a: crates/bench/src/bin/hotspot.rs
+
+crates/bench/src/bin/hotspot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hotspot-e1c9717b2a21c704.d: crates/bench/src/bin/hotspot.rs
+
+/root/repo/target/debug/deps/hotspot-e1c9717b2a21c704: crates/bench/src/bin/hotspot.rs
+
+crates/bench/src/bin/hotspot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-f09121fccaa3d9ef.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-f09121fccaa3d9ef: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/methodology-307d0cfdb525a2d6.d: tests/methodology.rs
+
+/root/repo/target/debug/deps/methodology-307d0cfdb525a2d6: tests/methodology.rs
+
+tests/methodology.rs:

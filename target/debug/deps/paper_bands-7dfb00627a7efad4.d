@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_bands-7dfb00627a7efad4.d: tests/paper_bands.rs
+
+/root/repo/target/debug/deps/paper_bands-7dfb00627a7efad4: tests/paper_bands.rs
+
+tests/paper_bands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_suite-8dd8743277133e09.d: tests/parallel_suite.rs
+
+/root/repo/target/debug/deps/parallel_suite-8dd8743277133e09: tests/parallel_suite.rs
+
+tests/parallel_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-8688d4c94f1c7bd1.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-8688d4c94f1c7bd1: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

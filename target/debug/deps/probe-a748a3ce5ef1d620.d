@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe-a748a3ce5ef1d620.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/debug/deps/probe-a748a3ce5ef1d620: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a2630dd75e8d98c1.d: crates/hw/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a2630dd75e8d98c1: crates/hw/tests/properties.rs
+
+crates/hw/tests/properties.rs:

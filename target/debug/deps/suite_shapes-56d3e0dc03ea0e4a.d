@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_shapes-56d3e0dc03ea0e4a.d: tests/suite_shapes.rs
+
+/root/repo/target/debug/deps/suite_shapes-56d3e0dc03ea0e4a: tests/suite_shapes.rs
+
+tests/suite_shapes.rs:

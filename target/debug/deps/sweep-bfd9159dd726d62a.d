@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-bfd9159dd726d62a.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-bfd9159dd726d62a: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sweep-cf057a9936ec7ad9.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/debug/deps/sweep-cf057a9936ec7ad9: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

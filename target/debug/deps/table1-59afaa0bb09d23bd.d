@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-59afaa0bb09d23bd.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-59afaa0bb09d23bd: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-bf8d07dd50d418f8.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-bf8d07dd50d418f8: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-63b1d7e0692188a5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-63b1d7e0692188a5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

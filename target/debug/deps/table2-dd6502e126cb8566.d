@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-dd6502e126cb8566.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-dd6502e126cb8566: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

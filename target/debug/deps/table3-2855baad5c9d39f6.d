@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-2855baad5c9d39f6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-2855baad5c9d39f6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

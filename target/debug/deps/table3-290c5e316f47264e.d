@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-290c5e316f47264e.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-290c5e316f47264e: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-2d741dfc73488574.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-2d741dfc73488574: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

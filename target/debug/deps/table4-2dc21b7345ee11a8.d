@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-2dc21b7345ee11a8.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-2dc21b7345ee11a8: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_app-c2a54e63bec916ef.d: examples/custom_app.rs
+
+/root/repo/target/debug/examples/custom_app-c2a54e63bec916ef: examples/custom_app.rs
+
+examples/custom_app.rs:

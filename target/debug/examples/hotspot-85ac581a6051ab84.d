@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot-85ac581a6051ab84.d: examples/hotspot.rs
+
+/root/repo/target/debug/examples/hotspot-85ac581a6051ab84: examples/hotspot.rs
+
+examples/hotspot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/loaded_system-ff7c0e2296336c28.d: examples/loaded_system.rs
+
+/root/repo/target/debug/examples/loaded_system-ff7c0e2296336c28: examples/loaded_system.rs
+
+examples/loaded_system.rs:

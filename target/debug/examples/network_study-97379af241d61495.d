@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_study-97379af241d61495.d: examples/network_study.rs
+
+/root/repo/target/debug/examples/network_study-97379af241d61495: examples/network_study.rs
+
+examples/network_study.rs:

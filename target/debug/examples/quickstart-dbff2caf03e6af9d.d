@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dbff2caf03e6af9d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dbff2caf03e6af9d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-0c55ee3fb5e81448.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-0c55ee3fb5e81448: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_inspection-2aff227abea6e2f9.d: examples/trace_inspection.rs
+
+/root/repo/target/debug/examples/trace_inspection-2aff227abea6e2f9: examples/trace_inspection.rs
+
+examples/trace_inspection.rs:

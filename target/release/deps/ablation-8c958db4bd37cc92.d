@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-8c958db4bd37cc92.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-8c958db4bd37cc92: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-f363a45581f9cecb.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-f363a45581f9cecb: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-2a220c3707c2cf2a.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-2a220c3707c2cf2a: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

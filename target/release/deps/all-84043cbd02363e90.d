@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all-84043cbd02363e90.d: crates/bench/src/bin/all.rs
+
+/root/repo/target/release/deps/all-84043cbd02363e90: crates/bench/src/bin/all.rs
+
+crates/bench/src/bin/all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cedar-65e30ac3425c347e.d: src/lib.rs
+
+/root/repo/target/release/deps/cedar-65e30ac3425c347e: src/lib.rs
+
+src/lib.rs:

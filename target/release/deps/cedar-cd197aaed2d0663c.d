@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cedar-cd197aaed2d0663c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcedar-cd197aaed2d0663c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcedar-cd197aaed2d0663c.rmeta: src/lib.rs
+
+src/lib.rs:

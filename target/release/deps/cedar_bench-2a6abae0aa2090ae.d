@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cedar_bench-2a6abae0aa2090ae.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/cedar_bench-2a6abae0aa2090ae: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

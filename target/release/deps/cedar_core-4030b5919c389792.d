@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/cedar_core-4030b5919c389792.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+/root/repo/target/release/deps/libcedar_core-4030b5919c389792.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+/root/repo/target/release/deps/libcedar_core-4030b5919c389792.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/events.rs crates/core/src/layout.rs crates/core/src/machine/mod.rs crates/core/src/machine/exec.rs crates/core/src/machine/os.rs crates/core/src/machine/state.rs crates/core/src/methodology/mod.rs crates/core/src/methodology/conc.rs crates/core/src/methodology/contention.rs crates/core/src/metrics.rs crates/core/src/pool.rs crates/core/src/program.rs crates/core/src/result.rs crates/core/src/run.rs crates/core/src/suite.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/events.rs:
+crates/core/src/layout.rs:
+crates/core/src/machine/mod.rs:
+crates/core/src/machine/exec.rs:
+crates/core/src/machine/os.rs:
+crates/core/src/machine/state.rs:
+crates/core/src/methodology/mod.rs:
+crates/core/src/methodology/conc.rs:
+crates/core/src/methodology/contention.rs:
+crates/core/src/metrics.rs:
+crates/core/src/pool.rs:
+crates/core/src/program.rs:
+crates/core/src/result.rs:
+crates/core/src/run.rs:
+crates/core/src/suite.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/cedar_hw-59c8381514f70042.d: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+/root/repo/target/release/deps/libcedar_hw-59c8381514f70042.rlib: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+/root/repo/target/release/deps/libcedar_hw-59c8381514f70042.rmeta: crates/hw/src/lib.rs crates/hw/src/addr.rs crates/hw/src/analytic.rs crates/hw/src/cache.rs crates/hw/src/cbus.rs crates/hw/src/ce.rs crates/hw/src/config.rs crates/hw/src/gmem.rs crates/hw/src/module.rs crates/hw/src/net.rs crates/hw/src/packet.rs crates/hw/src/route.rs crates/hw/src/switch.rs crates/hw/src/topology.rs crates/hw/src/vector.rs
+
+crates/hw/src/lib.rs:
+crates/hw/src/addr.rs:
+crates/hw/src/analytic.rs:
+crates/hw/src/cache.rs:
+crates/hw/src/cbus.rs:
+crates/hw/src/ce.rs:
+crates/hw/src/config.rs:
+crates/hw/src/gmem.rs:
+crates/hw/src/module.rs:
+crates/hw/src/net.rs:
+crates/hw/src/packet.rs:
+crates/hw/src/route.rs:
+crates/hw/src/switch.rs:
+crates/hw/src/topology.rs:
+crates/hw/src/vector.rs:

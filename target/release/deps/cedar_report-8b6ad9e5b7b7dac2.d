@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cedar_report-8b6ad9e5b7b7dac2.d: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+/root/repo/target/release/deps/libcedar_report-8b6ad9e5b7b7dac2.rlib: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+/root/repo/target/release/deps/libcedar_report-8b6ad9e5b7b7dac2.rmeta: crates/report/src/lib.rs crates/report/src/csv.rs crates/report/src/figures.rs crates/report/src/golden.rs crates/report/src/paper.rs crates/report/src/table.rs crates/report/src/tables.rs
+
+crates/report/src/lib.rs:
+crates/report/src/csv.rs:
+crates/report/src/figures.rs:
+crates/report/src/golden.rs:
+crates/report/src/paper.rs:
+crates/report/src/table.rs:
+crates/report/src/tables.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/cedar_rtl-807ede1f93fdfbed.d: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+/root/repo/target/release/deps/libcedar_rtl-807ede1f93fdfbed.rlib: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+/root/repo/target/release/deps/libcedar_rtl-807ede1f93fdfbed.rmeta: crates/rtl/src/lib.rs crates/rtl/src/activity.rs crates/rtl/src/barrier.rs crates/rtl/src/combining.rs crates/rtl/src/config.rs crates/rtl/src/doacross.rs crates/rtl/src/loops.rs crates/rtl/src/sched.rs crates/rtl/src/words.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/activity.rs:
+crates/rtl/src/barrier.rs:
+crates/rtl/src/combining.rs:
+crates/rtl/src/config.rs:
+crates/rtl/src/doacross.rs:
+crates/rtl/src/loops.rs:
+crates/rtl/src/sched.rs:
+crates/rtl/src/words.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cedar_sim-a6719d43e15fff0e.d: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libcedar_sim-a6719d43e15fff0e.rlib: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libcedar_sim-a6719d43e15fff0e.rmeta: crates/sim/src/lib.rs crates/sim/src/outbox.rs crates/sim/src/queue.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/outbox.rs:
+crates/sim/src/queue.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

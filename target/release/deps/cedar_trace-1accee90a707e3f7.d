@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cedar_trace-1accee90a707e3f7.d: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+/root/repo/target/release/deps/libcedar_trace-1accee90a707e3f7.rlib: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+/root/repo/target/release/deps/libcedar_trace-1accee90a707e3f7.rmeta: crates/trace/src/lib.rs crates/trace/src/breakdown.rs crates/trace/src/event.rs crates/trace/src/export.rs crates/trace/src/hpm.rs crates/trace/src/intervals.rs crates/trace/src/qmon.rs crates/trace/src/statfx.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/breakdown.rs:
+crates/trace/src/event.rs:
+crates/trace/src/export.rs:
+crates/trace/src/hpm.rs:
+crates/trace/src/intervals.rs:
+crates/trace/src/qmon.rs:
+crates/trace/src/statfx.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cedar_xylem-36a22706d01a15da.d: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+/root/repo/target/release/deps/libcedar_xylem-36a22706d01a15da.rlib: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+/root/repo/target/release/deps/libcedar_xylem-36a22706d01a15da.rmeta: crates/xylem/src/lib.rs crates/xylem/src/accounting.rs crates/xylem/src/background.rs crates/xylem/src/config.rs crates/xylem/src/daemon.rs crates/xylem/src/locks.rs crates/xylem/src/syscall.rs crates/xylem/src/vm.rs
+
+crates/xylem/src/lib.rs:
+crates/xylem/src/accounting.rs:
+crates/xylem/src/background.rs:
+crates/xylem/src/config.rs:
+crates/xylem/src/daemon.rs:
+crates/xylem/src/locks.rs:
+crates/xylem/src/syscall.rs:
+crates/xylem/src/vm.rs:

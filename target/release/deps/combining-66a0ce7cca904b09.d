@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/combining-66a0ce7cca904b09.d: crates/bench/src/bin/combining.rs
+
+/root/repo/target/release/deps/combining-66a0ce7cca904b09: crates/bench/src/bin/combining.rs
+
+crates/bench/src/bin/combining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/combining-843b035f59a72179.d: crates/bench/src/bin/combining.rs
+
+/root/repo/target/release/deps/combining-843b035f59a72179: crates/bench/src/bin/combining.rs
+
+crates/bench/src/bin/combining.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-6bd2d9612e944494.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-6bd2d9612e944494: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compare-e532f442f10fa930.d: crates/bench/src/bin/compare.rs
+
+/root/repo/target/release/deps/compare-e532f442f10fa930: crates/bench/src/bin/compare.rs
+
+crates/bench/src/bin/compare.rs:

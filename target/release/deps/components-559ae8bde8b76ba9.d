@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/components-559ae8bde8b76ba9.d: crates/bench/benches/components.rs
+
+/root/repo/target/release/deps/components-559ae8bde8b76ba9: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-b0927272f58c8b50.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-b0927272f58c8b50: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

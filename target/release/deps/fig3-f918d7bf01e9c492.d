@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-f918d7bf01e9c492.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-f918d7bf01e9c492: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

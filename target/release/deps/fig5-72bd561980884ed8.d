@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-72bd561980884ed8.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-72bd561980884ed8: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

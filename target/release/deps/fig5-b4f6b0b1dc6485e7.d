@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-b4f6b0b1dc6485e7.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-b4f6b0b1dc6485e7: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

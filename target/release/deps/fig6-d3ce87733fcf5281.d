@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-d3ce87733fcf5281.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-d3ce87733fcf5281: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

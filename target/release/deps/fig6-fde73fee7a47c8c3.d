@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-fde73fee7a47c8c3.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-fde73fee7a47c8c3: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-284cd8bd9c38a9d3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-284cd8bd9c38a9d3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

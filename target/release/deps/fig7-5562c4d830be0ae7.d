@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-5562c4d830be0ae7.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-5562c4d830be0ae7: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-5399ca829be92efa.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-5399ca829be92efa: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

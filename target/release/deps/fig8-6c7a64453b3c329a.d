@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-6c7a64453b3c329a.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-6c7a64453b3c329a: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-10ab7dd4d82255f8.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-10ab7dd4d82255f8: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-3b8552ca7ea5899f.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-3b8552ca7ea5899f: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

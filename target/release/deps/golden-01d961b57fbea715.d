@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden-01d961b57fbea715.d: tests/golden.rs
+
+/root/repo/target/release/deps/golden-01d961b57fbea715: tests/golden.rs
+
+tests/golden.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotspot-1e7c2945b4589129.d: crates/bench/src/bin/hotspot.rs
+
+/root/repo/target/release/deps/hotspot-1e7c2945b4589129: crates/bench/src/bin/hotspot.rs
+
+crates/bench/src/bin/hotspot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hotspot-ebd45ea913c36273.d: crates/bench/src/bin/hotspot.rs
+
+/root/repo/target/release/deps/hotspot-ebd45ea913c36273: crates/bench/src/bin/hotspot.rs
+
+crates/bench/src/bin/hotspot.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/machine-443a52ca664d9fd7.d: crates/bench/benches/machine.rs
+
+/root/repo/target/release/deps/machine-443a52ca664d9fd7: crates/bench/benches/machine.rs
+
+crates/bench/benches/machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_bands-c8210bdc30864efc.d: tests/paper_bands.rs
+
+/root/repo/target/release/deps/paper_bands-c8210bdc30864efc: tests/paper_bands.rs
+
+tests/paper_bands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_suite-7473661ee1aff90f.d: tests/parallel_suite.rs
+
+/root/repo/target/release/deps/parallel_suite-7473661ee1aff90f: tests/parallel_suite.rs
+
+tests/parallel_suite.rs:

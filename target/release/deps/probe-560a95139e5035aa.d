@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-560a95139e5035aa.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-560a95139e5035aa: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/probe-84670d1a4e20a471.d: crates/bench/src/bin/probe.rs
+
+/root/repo/target/release/deps/probe-84670d1a4e20a471: crates/bench/src/bin/probe.rs
+
+crates/bench/src/bin/probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-6c339a0232cc56aa.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-6c339a0232cc56aa: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sweep-d1e76166e0882105.d: crates/bench/src/bin/sweep.rs
+
+/root/repo/target/release/deps/sweep-d1e76166e0882105: crates/bench/src/bin/sweep.rs
+
+crates/bench/src/bin/sweep.rs:

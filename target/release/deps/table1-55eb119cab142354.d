@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-55eb119cab142354.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-55eb119cab142354: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-bc99e14d77a3d310.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-bc99e14d77a3d310: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

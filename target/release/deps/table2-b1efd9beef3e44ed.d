@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-b1efd9beef3e44ed.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-b1efd9beef3e44ed: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-d7995bd32be1ac2e.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-d7995bd32be1ac2e: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

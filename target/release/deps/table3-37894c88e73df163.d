@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-37894c88e73df163.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-37894c88e73df163: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

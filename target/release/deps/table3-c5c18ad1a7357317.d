@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-c5c18ad1a7357317.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-c5c18ad1a7357317: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-42e20d91885c025d.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-42e20d91885c025d: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bcb026efbb9e4701.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-bcb026efbb9e4701: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-49b3d86ec5d9bd1d.d: crates/bench/benches/tables.rs
+
+/root/repo/target/release/deps/tables-49b3d86ec5d9bd1d: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:
