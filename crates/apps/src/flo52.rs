@@ -31,10 +31,7 @@ pub fn spec() -> AppSpec {
         .repeat(12, |b| {
             let mut b = b
                 // Convergence check / coarse-grid bookkeeping: serial.
-                .serial_with(
-                    10_000,
-                    vec![AccessPattern::sweep(3, 8)],
-                );
+                .serial_with(10_000, vec![AccessPattern::sweep(3, 8)]);
             // Three multigrid stages. The CEs are pipelined vector
             // processors (§2): a body is two 80-word operand streams with
             // little scalar work around them, so parallel loop execution

@@ -191,10 +191,9 @@ impl AppSpec {
     /// larger than its array, or a loop has zero iterations.
     pub fn validate(&self) {
         let check_access = |a: &AccessPattern| {
-            let arr = self
-                .arrays
-                .get(a.array)
-                .unwrap_or_else(|| panic!("{}: access references missing array {}", self.name, a.array));
+            let arr = self.arrays.get(a.array).unwrap_or_else(|| {
+                panic!("{}: access references missing array {}", self.name, a.array)
+            });
             let span = (a.words as u64) * a.stride_dwords * 8;
             assert!(
                 span <= arr.bytes,

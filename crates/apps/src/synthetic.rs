@@ -61,9 +61,7 @@ pub fn uniform_xdoall(
 pub fn hotspot(steps: u32, iters_per_loop: u32) -> AppSpec {
     AppBuilder::new("SYNTH-HOTSPOT")
         .array("data", 64 * 1024)
-        .repeat(steps, |b| {
-            b.xdoall(iters_per_loop, BodySpec::compute(20))
-        })
+        .repeat(steps, |b| b.xdoall(iters_per_loop, BodySpec::compute(20)))
         .build()
 }
 

@@ -12,8 +12,14 @@ fn main() {
     println!("{}", cedar_report::tables::table4(suite));
     let dir = std::path::Path::new("results");
     if fs::create_dir_all(dir).is_ok() {
-        let _ = fs::write(dir.join("summary.csv"), cedar_report::csv::summary_csv(suite));
-        let _ = fs::write(dir.join("breakdown.csv"), cedar_report::csv::breakdown_csv(suite));
+        let _ = fs::write(
+            dir.join("summary.csv"),
+            cedar_report::csv::summary_csv(suite),
+        );
+        let _ = fs::write(
+            dir.join("breakdown.csv"),
+            cedar_report::csv::breakdown_csv(suite),
+        );
         let _ = fs::write(
             dir.join("concurrency.csv"),
             cedar_report::csv::concurrency_csv(suite),

@@ -20,7 +20,13 @@ fn flat_barrier(n: u32) -> SimTime {
     let mut q = EventQueue::new();
     let mut out: Outbox<GmemEvent> = Outbox::new();
     for p in 0..n {
-        sys.inject(CeId(p as u16), counter, MemOp::FetchAdd(1), Cycles(0), &mut out);
+        sys.inject(
+            CeId(p as u16),
+            counter,
+            MemOp::FetchAdd(1),
+            Cycles(0),
+            &mut out,
+        );
         out.flush_into(Cycles(0), &mut q);
     }
     let mut done = Cycles::ZERO;
@@ -49,7 +55,13 @@ fn combining_barrier(n: u32, fanout: u32) -> SimTime {
     let mut target: std::collections::HashMap<u64, (usize, u32)> = std::collections::HashMap::new();
     for p in 0..n {
         let leaf = tree.leaf_of(p);
-        let id = sys.inject(CeId(p as u16), leaf, MemOp::FetchAdd(1), Cycles(0), &mut out);
+        let id = sys.inject(
+            CeId(p as u16),
+            leaf,
+            MemOp::FetchAdd(1),
+            Cycles(0),
+            &mut out,
+        );
         target.insert(id.0, (0, tree.leaf_index(p)));
         out.flush_into(Cycles(0), &mut q);
     }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 3: the completion-time breakdown into
 //! user/system/interrupt/spin per configuration, for every application.
 fn main() {
-    println!("{}", cedar_report::figures::figure3(cedar_bench::campaign()));
+    println!(
+        "{}",
+        cedar_report::figures::figure3(cedar_bench::campaign())
+    );
 }

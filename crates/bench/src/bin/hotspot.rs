@@ -17,7 +17,13 @@ fn main() {
     for c in Configuration::ALL {
         let run = Experiment::new(synthetic::hotspot(4, 256), SimConfig::cedar(c)).run();
         let total: u64 = run.gmem.module_sync_requests.iter().sum();
-        let hot = run.gmem.module_sync_requests.iter().max().copied().unwrap_or(0);
+        let hot = run
+            .gmem
+            .module_sync_requests
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
         println!(
             "{:>8} | {:>10.4} | {:>12} | {:>12.1} | {:>14.2}",
             c.label(),

@@ -6,7 +6,10 @@ use cedar_trace::UserBucket;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "FLO52".into());
-    let shrink: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let shrink: u32 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
     let app = app_by_name(&name).unwrap().shrunk(shrink);
     let mut base = None;
     for c in Configuration::ALL {
@@ -14,7 +17,10 @@ fn main() {
         let r = Experiment::new(app.clone(), SimConfig::cedar(c)).run();
         let wall = t0.elapsed().as_secs_f64();
         let ct = r.completion_time;
-        let speed = base.as_ref().map(|b: &cedar_core::RunResult| r.speedup_over(b)).unwrap_or(1.0);
+        let speed = base
+            .as_ref()
+            .map(|b: &cedar_core::RunResult| r.speedup_over(b))
+            .unwrap_or(1.0);
         println!("{} {:>7}: CT={:>10} ({:.4}s) speedup={:.2} concurr={:.2} OS%={:.1} par_ov%={:.1} events={}M wall={:.1}s",
             r.app, c.label(), ct.0, r.ct_seconds(), speed, r.total_concurrency(),
             r.os_overhead_fraction()*100.0, r.main_parallelization_fraction()*100.0,
@@ -30,20 +36,30 @@ fn main() {
             b.fraction(UserBucket::BarrierWait, ct)*100.0,
             b.fraction(UserBucket::ClusterSync, ct)*100.0);
         if let Some(h) = r.helper_breakdowns().first() {
-            println!("   hlp0: iter={:.1}% pickX={:.1}% wait={:.1}% sync={:.1}% par_ov={:.1}%",
-                h.fraction(UserBucket::IterExec, ct)*100.0,
-                h.fraction(UserBucket::PickupXdoall, ct)*100.0,
-                h.fraction(UserBucket::HelperWait, ct)*100.0,
-                h.fraction(UserBucket::ClusterSync, ct)*100.0,
-                h.parallelization_overhead().fraction_of(ct)*100.0);
+            println!(
+                "   hlp0: iter={:.1}% pickX={:.1}% wait={:.1}% sync={:.1}% par_ov={:.1}%",
+                h.fraction(UserBucket::IterExec, ct) * 100.0,
+                h.fraction(UserBucket::PickupXdoall, ct) * 100.0,
+                h.fraction(UserBucket::HelperWait, ct) * 100.0,
+                h.fraction(UserBucket::ClusterSync, ct) * 100.0,
+                h.parallelization_overhead().fraction_of(ct) * 100.0
+            );
         }
         if let Some(b) = &base {
             let est = contention_overhead(b, &r);
             let cc = parallel_loop_concurrency(&r);
-            println!("   cont: Tact={} Tideal={} Ov={:.1}%  par_concurr={:?}",
-                est.t_p_actual.0, est.t_p_ideal.0, est.overhead_pct,
-                cc.iter().map(|c| (c.par_concurr*100.0).round()/100.0).collect::<Vec<_>>());
+            println!(
+                "   cont: Tact={} Tideal={} Ov={:.1}%  par_concurr={:?}",
+                est.t_p_actual.0,
+                est.t_p_ideal.0,
+                est.overhead_pct,
+                cc.iter()
+                    .map(|c| (c.par_concurr * 100.0).round() / 100.0)
+                    .collect::<Vec<_>>()
+            );
         }
-        if c == Configuration::P1 { base = Some(r); }
+        if c == Configuration::P1 {
+            base = Some(r);
+        }
     }
 }

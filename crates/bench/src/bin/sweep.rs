@@ -44,7 +44,11 @@ fn main() {
             .get(UserBucket::PickupXdoall)
             .fraction_of(run.completion_time)
             * 100.0;
-        let marker = if pickup > 10.0 { "  <= over the S6 line" } else { "" };
+        let marker = if pickup > 10.0 {
+            "  <= over the S6 line"
+        } else {
+            ""
+        };
         println!(
             "{:>12} | {:>10.4} | {:>12.1} | {:>10.1}{}",
             compute,

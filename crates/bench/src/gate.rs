@@ -1,0 +1,197 @@
+//! Benchmark-regression gate: compares a fresh `BENCH_*.json` against
+//! the committed baseline and fails on runtime regressions.
+//!
+//! The harness emits a fixed, self-authored JSON shape (see
+//! [`harness::Harness::to_json`](crate::harness)), so the reader here is
+//! a minimal scanner for `"name"`/`"median_ns"` pairs rather than a
+//! general JSON parser — the workspace stays zero-dependency.
+//!
+//! Two checks, driven by `scripts/bench_check.sh` in CI:
+//!
+//! 1. **Suite regression** — the fresh `suite/mini_campaign` median must
+//!    not exceed the baseline median by more than the tolerance
+//!    (default 15%). Catches simulator-wide slowdowns.
+//! 2. **Scheduler margin** — within the *same fresh run* (so the check
+//!    is machine-speed independent), the calendar queue must beat the
+//!    heap by at least 1.3x on the event-dense network workload.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Allowed suite-runtime growth over the baseline: +15%.
+pub const SUITE_TOLERANCE: f64 = 0.15;
+
+/// Required calendar-over-heap speedup on `sched/net_dense`.
+pub const SCHED_MARGIN: f64 = 1.3;
+
+/// Extracts `benchmark name -> median_ns` from harness-format JSON.
+///
+/// Scans for `"name":"<s>"` followed by `"median_ns":<f>` within the
+/// same benchmark object. Returns an error if the text yields no pairs,
+/// so a truncated or hand-mangled file fails loudly instead of passing
+/// an empty gate.
+pub fn medians(json: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut rest = json;
+    while let Some(i) = rest.find("\"name\":\"") {
+        rest = &rest[i + 8..];
+        let end = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name string".to_string())?;
+        let name = &rest[..end];
+        rest = &rest[end..];
+        let j = rest
+            .find("\"median_ns\":")
+            .ok_or_else(|| format!("benchmark `{name}` has no median_ns"))?;
+        rest = &rest[j + 12..];
+        let num_end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..num_end]
+            .parse()
+            .map_err(|e| format!("bad median_ns for `{name}`: {e}"))?;
+        out.insert(name.to_string(), value);
+    }
+    if out.is_empty() {
+        return Err("no benchmarks found in JSON".to_string());
+    }
+    Ok(out)
+}
+
+fn get(map: &BTreeMap<String, f64>, key: &str, which: &str) -> Result<f64, String> {
+    map.get(key)
+        .copied()
+        .ok_or_else(|| format!("{which} JSON is missing `{key}`"))
+}
+
+/// Runs both gate checks. Returns a human-readable report on success and
+/// the list of violations on failure.
+pub fn check(fresh: &str, baseline: &str) -> Result<String, String> {
+    let fresh = medians(fresh).map_err(|e| format!("fresh results: {e}"))?;
+    let baseline = medians(baseline).map_err(|e| format!("baseline: {e}"))?;
+
+    let mut report = String::new();
+    let mut failures = String::new();
+
+    let suite_now = get(&fresh, "suite/mini_campaign", "fresh")?;
+    let suite_base = get(&baseline, "suite/mini_campaign", "baseline")?;
+    let growth = suite_now / suite_base - 1.0;
+    writeln!(
+        report,
+        "suite/mini_campaign: {:.1} ms vs baseline {:.1} ms ({:+.1}%, budget {:+.0}%)",
+        suite_now / 1e6,
+        suite_base / 1e6,
+        growth * 100.0,
+        SUITE_TOLERANCE * 100.0
+    )
+    .unwrap();
+    if growth > SUITE_TOLERANCE {
+        writeln!(
+            failures,
+            "suite runtime regressed {:.1}% (budget {:.0}%); if the slowdown is \
+             intentional, refresh results/bench_baseline.json (see scripts/bench_check.sh)",
+            growth * 100.0,
+            SUITE_TOLERANCE * 100.0
+        )
+        .unwrap();
+    }
+
+    let heap = get(&fresh, "sched/net_dense/heap", "fresh")?;
+    let calendar = get(&fresh, "sched/net_dense/calendar", "fresh")?;
+    let speedup = heap / calendar;
+    writeln!(
+        report,
+        "sched/net_dense: calendar {:.1} ms vs heap {:.1} ms ({speedup:.2}x, floor {SCHED_MARGIN}x)",
+        calendar / 1e6,
+        heap / 1e6,
+    )
+    .unwrap();
+    if speedup < SCHED_MARGIN {
+        writeln!(
+            failures,
+            "calendar queue is only {speedup:.2}x over the heap on sched/net_dense \
+             (floor {SCHED_MARGIN}x)"
+        )
+        .unwrap();
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(format!("{report}\nFAIL:\n{failures}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json(entries: &[(&str, f64)]) -> String {
+        let body: Vec<String> = entries
+            .iter()
+            .map(|(n, m)| format!("{{\"name\":\"{n}\",\"iters\":3,\"median_ns\":{m:.1}}}"))
+            .collect();
+        format!(
+            "{{\"suite\":\"scheduler\",\"benchmarks\":[{}]}}",
+            body.join(",")
+        )
+    }
+
+    #[test]
+    fn medians_roundtrip_harness_shape() {
+        let m = medians(&json(&[("a/b", 12.5), ("c", 7.0)])).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a/b"], 12.5);
+        assert_eq!(m["c"], 7.0);
+    }
+
+    #[test]
+    fn medians_reject_empty_and_truncated() {
+        assert!(medians("{}").is_err());
+        assert!(medians("{\"benchmarks\":[{\"name\":\"x\",\"iters\":3}]}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_budget() {
+        let base = json(&[("suite/mini_campaign", 100.0e6)]);
+        let fresh = json(&[
+            ("suite/mini_campaign", 110.0e6),
+            ("sched/net_dense/heap", 50.0e6),
+            ("sched/net_dense/calendar", 20.0e6),
+        ]);
+        let report = check(&fresh, &base).unwrap();
+        assert!(report.contains("suite/mini_campaign"));
+    }
+
+    #[test]
+    fn gate_fails_on_suite_regression() {
+        let base = json(&[("suite/mini_campaign", 100.0e6)]);
+        let fresh = json(&[
+            ("suite/mini_campaign", 120.0e6),
+            ("sched/net_dense/heap", 50.0e6),
+            ("sched/net_dense/calendar", 20.0e6),
+        ]);
+        let err = check(&fresh, &base).unwrap_err();
+        assert!(err.contains("suite runtime regressed"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_when_calendar_loses_margin() {
+        let base = json(&[("suite/mini_campaign", 100.0e6)]);
+        let fresh = json(&[
+            ("suite/mini_campaign", 100.0e6),
+            ("sched/net_dense/heap", 50.0e6),
+            ("sched/net_dense/calendar", 45.0e6),
+        ]);
+        let err = check(&fresh, &base).unwrap_err();
+        assert!(err.contains("floor 1.3x"), "{err}");
+    }
+
+    #[test]
+    fn gate_reports_missing_benchmarks() {
+        let base = json(&[("other", 1.0)]);
+        let fresh = json(&[("suite/mini_campaign", 1.0)]);
+        let err = check(&fresh, &base).unwrap_err();
+        assert!(err.contains("missing `suite/mini_campaign`"), "{err}");
+    }
+}

@@ -120,11 +120,16 @@ impl Harness {
     /// Creates a harness for `suite`, reading iteration counts from the
     /// environment (`BENCH_SMOKE`, `BENCH_ITERS`, `BENCH_WARMUP`).
     pub fn new(suite: &str) -> Harness {
-        let smoke = std::env::var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false);
+        let smoke = std::env::var("BENCH_SMOKE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let (warmup, iters) = if smoke {
             (0, 1)
         } else {
-            (env_u32("BENCH_WARMUP", 5), env_u32("BENCH_ITERS", 30).max(1))
+            (
+                env_u32("BENCH_WARMUP", 5),
+                env_u32("BENCH_ITERS", 30).max(1),
+            )
         };
         if smoke {
             eprintln!("[{suite}] BENCH_SMOKE=1 — single iteration, timings not meaningful");

@@ -23,6 +23,7 @@
 //! (`cargo bench --offline`); `BENCH_SMOKE=1` reduces them to one
 //! iteration for CI.
 
+pub mod gate;
 pub mod harness;
 
 use std::sync::OnceLock;

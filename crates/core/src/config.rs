@@ -77,7 +77,9 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let c = SimConfig::cedar(Configuration::P1).with_seed(7).with_trace();
+        let c = SimConfig::cedar(Configuration::P1)
+            .with_seed(7)
+            .with_trace();
         assert_eq!(c.seed, 7);
         assert!(c.keep_trace);
     }

@@ -50,7 +50,8 @@ impl Machine {
         }
         for cluster in 0..self.tasks.len() {
             let (t, _) = self.daemons[cluster].next_after(self.now);
-            self.queue.schedule(t, crate::events::Ev::Daemon { cluster });
+            self.queue
+                .schedule(t, crate::events::Ev::Daemon { cluster });
             let (t, _) = self.asts[cluster].next_after(self.now);
             self.queue.schedule(t, crate::events::Ev::Ast { cluster });
             if !self.background.is_empty() {

@@ -40,6 +40,10 @@ pub struct Machine {
     pub(crate) program: CompiledProgram,
     pub(crate) queue: EventQueue<Ev>,
     pub(crate) gmem: GlobalMemorySystem,
+    /// Long-lived scratch outbox for memory-system events. Reused across
+    /// every inject/handle call (slab-style) so the packet-heavy network
+    /// model does not allocate a fresh buffer per event.
+    pub(crate) gmem_out: Outbox<GmemEvent>,
     pub(crate) ces: Vec<Ce>,
     pub(crate) tasks: Vec<Task>,
     pub(crate) vm: AddressSpace,
@@ -134,6 +138,7 @@ impl Machine {
             program,
             queue: EventQueue::with_capacity(1 << 16),
             gmem: GlobalMemorySystem::new(cfg.hw.net.clone()),
+            gmem_out: Outbox::new(),
             ces,
             tasks,
             vm,
@@ -233,14 +238,12 @@ impl Machine {
             }
             CeMode::ClaimOuter => Some(UserBucket::PickupSdoall),
             CeMode::ClaimFlat => Some(UserBucket::PickupXdoall),
-            CeMode::Body { .. } | CeMode::BodyFaultWait { .. } => {
-                match kind {
-                    Some(cedar_rtl::LoopKind::Cluster) | Some(cedar_rtl::LoopKind::Doacross) => {
-                        Some(UserBucket::ClusterLoop)
-                    }
-                    _ => Some(UserBucket::IterExec),
+            CeMode::Body { .. } | CeMode::BodyFaultWait { .. } => match kind {
+                Some(cedar_rtl::LoopKind::Cluster) | Some(cedar_rtl::LoopKind::Doacross) => {
+                    Some(UserBucket::ClusterLoop)
                 }
-            }
+                _ => Some(UserBucket::IterExec),
+            },
             CeMode::CbusWait => Some(UserBucket::ClusterSync),
             CeMode::DoacrossSetup
             | CeMode::DoacrossTicket { .. }
@@ -273,8 +276,11 @@ impl Machine {
     /// Starts a pure-compute activity on CE `pos` and schedules its
     /// completion.
     pub(crate) fn start_compute(&mut self, pos: usize, dur: Cycles) {
-        let gen = self.ces[pos].engine.begin(&Activity::Compute(dur), self.now);
-        self.queue.schedule(self.now + dur, Ev::CeDone { ce: pos, gen });
+        let gen = self.ces[pos]
+            .engine
+            .begin(&Activity::Compute(dur), self.now);
+        self.queue
+            .schedule(self.now + dur, Ev::CeDone { ce: pos, gen });
     }
 
     /// Starts a compute delay after which `word` is issued (spin periods
@@ -300,12 +306,12 @@ impl Machine {
             .engine
             .begin(&Activity::Word { addr, op }, self.now);
         let ce_id = self.ce_id(pos);
-        let mut out: Outbox<GmemEvent> = Outbox::new();
-        let id = self.gmem.inject(ce_id, addr, op, self.now, &mut out);
+        let id = self
+            .gmem
+            .inject(ce_id, addr, op, self.now, &mut self.gmem_out);
         self.req_owner.insert(id, pos);
-        for (delay, ev) in out.drain() {
-            self.queue.schedule(self.now + delay, Ev::Gmem(ev));
-        }
+        self.gmem_out
+            .flush_map_into(self.now, &mut self.queue, Ev::Gmem);
     }
 
     /// Issues a vector burst from CE `pos`, pipelined one word per cycle.
@@ -315,15 +321,14 @@ impl Machine {
             .engine
             .begin(&Activity::Vector(*access), self.now);
         let ce_id = self.ce_id(pos);
-        let mut out: Outbox<GmemEvent> = Outbox::new();
         for (k, addr) in access.addresses().enumerate() {
-            let id = self.gmem.inject(ce_id, addr, access.op, self.now, &mut out);
+            let id = self
+                .gmem
+                .inject(ce_id, addr, access.op, self.now, &mut self.gmem_out);
             self.req_owner.insert(id, pos);
             // Re-anchor this word's events k cycles later (issue pipeline).
-            for (delay, ev) in out.drain() {
-                self.queue
-                    .schedule(self.now + delay + Cycles(k as u64), Ev::Gmem(ev));
-            }
+            self.gmem_out
+                .flush_map_into(self.now + Cycles(k as u64), &mut self.queue, Ev::Gmem);
         }
     }
 
@@ -341,10 +346,8 @@ impl Machine {
         self.set_mode(pos, CeMode::CbusWait);
         let episode = self.tasks[cluster].barrier_episode;
         if let Some(release_at) = self.tasks[cluster].barrier.arrive(self.now) {
-            self.queue.schedule(
-                release_at,
-                Ev::CbusRelease { cluster, episode },
-            );
+            self.queue
+                .schedule(release_at, Ev::CbusRelease { cluster, episode });
         }
     }
 
@@ -382,11 +385,9 @@ impl Machine {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Gmem(g) => {
-                let mut out: Outbox<GmemEvent> = Outbox::new();
-                let delivered = self.gmem.handle(g, self.now, &mut out);
-                for (delay, e) in out.drain() {
-                    self.queue.schedule(self.now + delay, Ev::Gmem(e));
-                }
+                let delivered = self.gmem.handle(g, self.now, &mut self.gmem_out);
+                self.gmem_out
+                    .flush_map_into(self.now, &mut self.queue, Ev::Gmem);
                 if let Some(cedar_hw::GmemOutput::Deliver(resp)) = delivered {
                     self.on_response(resp);
                 }

@@ -195,10 +195,7 @@ impl Machine {
 
     /// Category totals snapshot (test aid).
     #[cfg(test)]
-    pub(crate) fn category_total(
-        &self,
-        category: cedar_xylem::accounting::Category,
-    ) -> Cycles {
+    pub(crate) fn category_total(&self, category: cedar_xylem::accounting::Category) -> Cycles {
         self.os_acct.category_total(category)
     }
 }

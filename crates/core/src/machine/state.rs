@@ -1,8 +1,8 @@
 //! Per-CE and per-task runtime state.
 
 use cedar_apps::BodySpec;
-use cedar_hw::ce::CeEngine;
 use cedar_hw::cbus::CbusBarrier;
+use cedar_hw::ce::CeEngine;
 use cedar_hw::{GlobalAddr, MemOp};
 use cedar_rtl::{FinishBarrier, IterClaimer, LoopKind, WorkWaiter};
 use cedar_sim::{Cycles, SimTime};

@@ -132,19 +132,11 @@ fn os_accounting_is_consistent_with_qmon() {
     let app = synthetic::uniform_sdoall(4, 2, 8, 16, 300, 8);
     let r = run(app, Configuration::P8);
     // Same charges flow to both accountings.
-    let os_total: Cycles = [
-        Category::System,
-        Category::Interrupt,
-        Category::Spin,
-    ]
-    .iter()
-    .map(|c| r.os.category_total(*c))
-    .sum();
-    let q_total: Cycles = r
-        .utilization
+    let os_total: Cycles = [Category::System, Category::Interrupt, Category::Spin]
         .iter()
-        .map(|u| u.os_total())
+        .map(|c| r.os.category_total(*c))
         .sum();
+    let q_total: Cycles = r.utilization.iter().map(|u| u.os_total()).sum();
     assert_eq!(os_total, q_total);
     assert!(os_total > Cycles::ZERO, "daemons must have fired");
 }

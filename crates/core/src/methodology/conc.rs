@@ -58,8 +58,8 @@ pub fn total_parallel_concurrency(per_cluster: &[ClusterConcurrency]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cedar_hw::Configuration;
     use cedar_hw::gmem::GmemStats;
+    use cedar_hw::Configuration;
     use cedar_sim::stats::LatencyHistogram;
     use cedar_sim::Cycles;
     use cedar_trace::qmon::ClusterUtilization;

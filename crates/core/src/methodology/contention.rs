@@ -63,9 +63,8 @@ pub fn contention_overhead(baseline: &RunResult, run: &RunResult) -> ContentionE
     let t_p_ideal = Cycles((t1_mc.0 as f64 / par_main + t1_sx.0 as f64 / par_total).round() as u64);
     let t_p_actual = mc_time(run) + sx_time(run);
 
-    let overhead_pct = (t_p_actual.0 as f64 - t_p_ideal.0 as f64)
-        / run.completion_time.0.max(1) as f64
-        * 100.0;
+    let overhead_pct =
+        (t_p_actual.0 as f64 - t_p_ideal.0 as f64) / run.completion_time.0.max(1) as f64 * 100.0;
     ContentionEstimate {
         t_p_actual,
         t_p_ideal,

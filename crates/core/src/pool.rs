@@ -129,7 +129,10 @@ mod tests {
     fn worker_count_does_not_change_results() {
         for workers in [1, 2, 3, 8, 64] {
             let jobs: Vec<_> = (0..10u64).map(|i| move || i + 1).collect();
-            assert_eq!(run_jobs(workers, jobs).unwrap(), (1..=10).collect::<Vec<_>>());
+            assert_eq!(
+                run_jobs(workers, jobs).unwrap(),
+                (1..=10).collect::<Vec<_>>()
+            );
         }
     }
 
@@ -148,7 +151,11 @@ mod tests {
         ];
         let err = run_jobs(2, jobs).unwrap_err();
         assert_eq!(err.job, 1);
-        assert!(err.message.contains("experiment exploded"), "{}", err.message);
+        assert!(
+            err.message.contains("experiment exploded"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

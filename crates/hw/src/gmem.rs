@@ -107,7 +107,11 @@ impl GlobalMemorySystem {
             reverse: DeltaNet::new(&cfg),
             modules,
             cluster_paths: (0..n_clusters)
-                .map(|_| (0..cfg.cluster_inject_ports).map(|_| PortServer::new()).collect())
+                .map(|_| {
+                    (0..cfg.cluster_inject_ports)
+                        .map(|_| PortServer::new())
+                        .collect()
+                })
                 .collect(),
             cluster_rr: vec![0; n_clusters],
             next_request: 0,
@@ -153,8 +157,7 @@ impl GlobalMemorySystem {
         let path_delay = if self.cfg.cluster_inject_ports > 0 {
             let cluster = (ce.0 / 8) as usize % self.cluster_paths.len();
             let rr = self.cluster_rr[cluster];
-            self.cluster_rr[cluster] =
-                (rr + 1) % self.cfg.cluster_inject_ports as usize;
+            self.cluster_rr[cluster] = (rr + 1) % self.cfg.cluster_inject_ports as usize;
             let through = self.cluster_paths[cluster][rr].accept(now, Cycles(1));
             through - now
         } else {
@@ -199,9 +202,9 @@ impl GlobalMemorySystem {
                 None
             }
             GmemEvent::RevStage1(resp) => {
-                let arrive =
-                    self.reverse
-                        .transit_stage1(resp.module.0, self.rev_dst(resp.ce), now);
+                let arrive = self
+                    .reverse
+                    .transit_stage1(resp.module.0, self.rev_dst(resp.ce), now);
                 out.emit(arrive - now, GmemEvent::RevStage2(resp));
                 None
             }
@@ -274,26 +277,50 @@ impl GlobalMemorySystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cedar_sim::EventQueue;
+    use cedar_sim::{EventQueue, EventSchedule, SchedKind};
 
-    /// Runs the memory system to quiescence, returning delivered responses
-    /// with their delivery times.
-    fn run_to_completion(
+    /// Drives the memory system to quiescence through `q`, returning
+    /// delivered responses with their delivery times. Generic over the
+    /// scheduler so the same producers run against every implementation.
+    fn drive<Q: EventSchedule<GmemEvent>>(
+        q: &mut Q,
         sys: &mut GlobalMemorySystem,
-        injections: Vec<(CeId, GlobalAddr, MemOp, SimTime)>,
+        injections: &[(CeId, GlobalAddr, MemOp, SimTime)],
     ) -> Vec<(SimTime, MemResponse)> {
-        let mut q = EventQueue::new();
         let mut out = Outbox::new();
-        for (ce, addr, op, at) in injections {
+        for &(ce, addr, op, at) in injections {
             sys.inject(ce, addr, op, at, &mut out);
-            out.flush_into(at, &mut q);
+            out.flush_into(at, q);
         }
         let mut delivered = Vec::new();
         while let Some((now, ev)) = q.pop() {
             if let Some(GmemOutput::Deliver(resp)) = sys.handle(ev, now, &mut out) {
                 delivered.push((now, resp));
             }
-            out.flush_into(now, &mut q);
+            out.flush_into(now, q);
+        }
+        delivered
+    }
+
+    /// Runs the injection schedule under both schedulers, asserts the
+    /// delivery streams are identical, and returns one of them (along
+    /// with the calendar-driven system's final state in `sys`).
+    fn run_to_completion(
+        sys: &mut GlobalMemorySystem,
+        injections: Vec<(CeId, GlobalAddr, MemOp, SimTime)>,
+    ) -> Vec<(SimTime, MemResponse)> {
+        let mut heap_sys = GlobalMemorySystem::new(sys.config().clone());
+        let mut heap_q = EventQueue::with_kind(SchedKind::Heap);
+        let heap_run = drive(&mut heap_q, &mut heap_sys, &injections);
+
+        let mut q = EventQueue::with_kind(SchedKind::Calendar);
+        let delivered = drive(&mut q, sys, &injections);
+
+        assert_eq!(delivered.len(), heap_run.len(), "A/B delivery count");
+        for (a, b) in delivered.iter().zip(&heap_run) {
+            assert_eq!(a.0, b.0, "A/B delivery time");
+            assert_eq!(a.1.id, b.1.id, "A/B delivery order");
+            assert_eq!(a.1.value, b.1.value, "A/B delivered value");
         }
         delivered
     }

@@ -98,7 +98,9 @@ mod tests {
         let mut n = net();
         // 8 CEs of cluster 0 all target module 5 simultaneously: they share
         // one stage-1 switch and one output port, so they serialize.
-        let arrivals: Vec<_> = (0..8).map(|src| n.transit_stage1(src, 5, Cycles(0))).collect();
+        let arrivals: Vec<_> = (0..8)
+            .map(|src| n.transit_stage1(src, 5, Cycles(0)))
+            .collect();
         for w in arrivals.windows(2) {
             assert_eq!(w[1].0 - w[0].0, 1, "packets serialize one per cycle");
         }

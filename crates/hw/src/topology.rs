@@ -133,9 +133,8 @@ impl Configuration {
     /// Iterator over the active CE ids of this configuration.
     pub fn ces(self) -> impl Iterator<Item = CeId> {
         let per = self.ces_per_cluster();
-        (0..self.clusters() as u16).flat_map(move |cl| {
-            (0..per).map(move |i| CeId::from_parts(ClusterId(cl as u8), i))
-        })
+        (0..self.clusters() as u16)
+            .flat_map(move |cl| (0..per).map(move |i| CeId::from_parts(ClusterId(cl as u8), i)))
     }
 
     /// Iterator over the active cluster ids.

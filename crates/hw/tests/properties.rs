@@ -93,7 +93,11 @@ fn module_service_is_fcfs_and_work_conserving() {
             // requests * service.
             last_ready = ready;
         }
-        assert_eq!(module.busy(), Cycles(4 * sorted.len() as u64), "seed {seed}");
+        assert_eq!(
+            module.busy(),
+            Cycles(4 * sorted.len() as u64),
+            "seed {seed}"
+        );
     }
 }
 

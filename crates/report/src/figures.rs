@@ -67,7 +67,9 @@ fn write_task_bar(out: &mut String, name: &str, r: &RunResult, task: usize) {
     let ct = r.completion_time;
     let b = &r.breakdowns[task];
     let pct = |bucket: UserBucket| b.fraction(bucket, ct) * 100.0;
-    let below = pct(UserBucket::IterExec) + pct(UserBucket::Serial) + pct(UserBucket::ClusterLoop)
+    let below = pct(UserBucket::IterExec)
+        + pct(UserBucket::Serial)
+        + pct(UserBucket::ClusterLoop)
         + pct(UserBucket::ClusterSync);
     let above: f64 = UserBucket::ALL
         .iter()
@@ -99,11 +101,7 @@ pub fn figures5to9(suite: &SuiteResult) -> String {
     let numbers = [5, 6, 7, 8, 9];
     let mut out = String::new();
     for (n, name) in numbers.iter().zip(order.iter()) {
-        if let Some(app) = suite
-            .apps
-            .iter()
-            .find(|a| a.app.eq_ignore_ascii_case(name))
-        {
+        if let Some(app) = suite.apps.iter().find(|a| a.app.eq_ignore_ascii_case(name)) {
             let _ = writeln!(out, "Figure {n}: {}", user_breakdown(app));
         }
     }
@@ -131,10 +129,7 @@ mod tests {
     fn mini_suite() -> SuiteResult {
         let mut a = synthetic::uniform_sdoall(1, 1, 8, 8, 300, 4);
         a.name = "FLO52";
-        SuiteResult::measure(
-            &[a],
-            &[Configuration::P1, Configuration::P16],
-        )
+        SuiteResult::measure(&[a], &[Configuration::P1, Configuration::P16])
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub enum GoldenStatus {
 
 /// True when the caller asked for snapshots to be re-recorded.
 pub fn update_mode() -> bool {
-    std::env::var("UPDATE_GOLDEN").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UPDATE_GOLDEN")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Compares `actual` against the snapshot at `path`, honouring
@@ -89,7 +91,9 @@ pub fn line_diff(expected: &str, actual: &str) -> String {
         head += 1;
     }
     let mut tail = 0;
-    while tail < e.len() - head && tail < a.len() - head && e[e.len() - 1 - tail] == a[a.len() - 1 - tail]
+    while tail < e.len() - head
+        && tail < a.len() - head
+        && e[e.len() - 1 - tail] == a[a.len() - 1 - tail]
     {
         tail += 1;
     }

@@ -54,7 +54,10 @@ pub fn table1(suite: &SuiteResult) -> String {
         t.row(cc_row);
         t.separator();
     }
-    format!("Table 1: CTs, Speedups and Average Concurrency\n{}", t.render())
+    format!(
+        "Table 1: CTs, Speedups and Average Concurrency\n{}",
+        t.render()
+    )
 }
 
 /// Table 2: detailed OS-activity overheads on the 4-cluster Cedar for
@@ -92,7 +95,10 @@ pub fn table3(suite: &SuiteResult) -> String {
     let mut header: Vec<String> = vec!["Config".into(), "Task".into()];
     header.extend(suite.apps.iter().map(|a| a.app.to_string()));
     let mut t = TextTable::new(header);
-    for c in present(suite).into_iter().filter(|c| *c != Configuration::P1) {
+    for c in present(suite)
+        .into_iter()
+        .filter(|c| *c != Configuration::P1)
+    {
         let task_names: Vec<String> = match c.clusters() {
             1 => vec!["Main".into()],
             n => {
@@ -105,7 +111,11 @@ pub fn table3(suite: &SuiteResult) -> String {
         };
         for (ti, task) in task_names.iter().enumerate() {
             let mut row = vec![
-                if ti == 0 { c.label().to_string() } else { String::new() },
+                if ti == 0 {
+                    c.label().to_string()
+                } else {
+                    String::new()
+                },
                 task.clone(),
             ];
             for app in &suite.apps {
@@ -148,7 +158,10 @@ pub fn table4(suite: &SuiteResult) -> String {
         t.row(ov);
         t.separator();
     }
-    format!("Table 4: GM and Network Contention Overhead\n{}", t.render())
+    format!(
+        "Table 4: GM and Network Contention Overhead\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -183,6 +183,9 @@ mod tests {
         let word = pack_activity(5, LoopKind::Sdoall.code());
         assert!(matches!(w.on_value(word), WaitStep::Issue(_)));
         let word6 = pack_activity(6, LoopKind::Sdoall.code());
-        assert!(matches!(w.on_value(word6), WaitStep::NewWork { seq: 6, .. }));
+        assert!(matches!(
+            w.on_value(word6),
+            WaitStep::NewWork { seq: 6, .. }
+        ));
     }
 }

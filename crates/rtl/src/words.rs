@@ -62,7 +62,14 @@ mod tests {
     #[test]
     fn words_are_distinct_dwords() {
         let w = RtlWords::cedar();
-        let addrs = [w.activity, w.lock, w.index, w.descriptor, w.joined, w.ticket];
+        let addrs = [
+            w.activity,
+            w.lock,
+            w.index,
+            w.descriptor,
+            w.joined,
+            w.ticket,
+        ];
         for (i, a) in addrs.iter().enumerate() {
             for b in addrs.iter().skip(i + 1) {
                 assert_ne!(a.dword_index(), b.dword_index());
@@ -73,10 +80,17 @@ mod tests {
     #[test]
     fn words_land_on_distinct_modules() {
         let w = RtlWords::cedar();
-        let m: Vec<u16> = [w.activity, w.lock, w.index, w.descriptor, w.joined, w.ticket]
-            .iter()
-            .map(|a| a.module(32).0)
-            .collect();
+        let m: Vec<u16> = [
+            w.activity,
+            w.lock,
+            w.index,
+            w.descriptor,
+            w.joined,
+            w.ticket,
+        ]
+        .iter()
+        .map(|a| a.module(32).0)
+        .collect();
         let mut dedup = m.clone();
         dedup.sort_unstable();
         dedup.dedup();

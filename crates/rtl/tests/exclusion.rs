@@ -116,7 +116,11 @@ fn every_iteration_claimed_exactly_once() {
             .map(|_| rng.next_below(6) as usize)
             .collect();
 
-        let mut referee = Referee { lock: 0, index: 0, holder: None };
+        let mut referee = Referee {
+            lock: 0,
+            index: 0,
+            holder: None,
+        };
         let mut drivers: Vec<Driver> = (0..n_claimers).map(|_| Driver::new(total)).collect();
 
         // Drive the randomly chosen interleaving, then round-robin until
@@ -148,7 +152,11 @@ fn every_iteration_claimed_exactly_once() {
 #[test]
 fn single_claimer_claims_in_ascending_order() {
     for total in 1u32..50 {
-        let mut referee = Referee { lock: 0, index: 0, holder: None };
+        let mut referee = Referee {
+            lock: 0,
+            index: 0,
+            holder: None,
+        };
         let mut d = Driver::new(total);
         let mut guard = 0;
         while !d.done {

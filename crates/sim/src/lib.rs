@@ -2,8 +2,10 @@
 //!
 //! This crate is the substrate underneath the Cedar machine reproduction.
 //! It deliberately contains nothing Cedar-specific: simulated time
-//! ([`Cycles`], [`SimTime`]), a deterministic event queue
-//! ([`EventQueue`]), the outbox pattern used by component state machines
+//! ([`Cycles`], [`SimTime`]), deterministic pending-event sets (the
+//! [`EventSchedule`] trait with its [`HeapSchedule`] and
+//! [`CalendarSchedule`] implementations behind the [`EventQueue`]
+//! facade), the outbox pattern used by component state machines
 //! ([`Outbox`]), a small deterministic RNG ([`SplitMix64`]), and
 //! time-weighted statistics helpers ([`stats`]).
 //!
@@ -13,7 +15,9 @@
 //! traces. Two mechanisms guarantee this:
 //!
 //! * [`EventQueue`] breaks timestamp ties by insertion sequence number, so
-//!   simultaneous events fire in the order they were scheduled.
+//!   simultaneous events fire in the order they were scheduled. Both
+//!   backing schedulers (`CEDAR_SCHED=heap|calendar`) honour the exact
+//!   same order, so the selection affects wall-clock speed only.
 //! * [`SplitMix64`] is a fixed-seed PRNG; no ambient entropy is consulted.
 //!
 //! ## Example
@@ -30,13 +34,15 @@
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("tie-broken-second"));
 //! ```
 
+pub mod calendar;
 pub mod outbox;
 pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use calendar::CalendarSchedule;
 pub use outbox::Outbox;
-pub use queue::EventQueue;
+pub use queue::{EventQueue, EventSchedule, HeapSchedule, SchedKind};
 pub use rng::SplitMix64;
 pub use time::{Cycles, HpmTicks, SimTime, CYCLE_NS, HPM_TICKS_PER_CYCLE, HPM_TICK_NS};

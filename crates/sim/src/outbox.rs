@@ -52,10 +52,28 @@ impl<E> Outbox<E> {
         self.items.drain(..)
     }
 
-    /// Drains into an absolute-time event queue, anchoring delays at `now`.
-    pub fn flush_into(&mut self, now: SimTime, queue: &mut crate::EventQueue<E>) {
+    /// Drains into an absolute-time event schedule, anchoring delays at
+    /// `now`.
+    pub fn flush_into<Q: crate::EventSchedule<E>>(&mut self, now: SimTime, queue: &mut Q) {
         for (delay, ev) in self.items.drain(..) {
             queue.schedule(now + delay, ev);
+        }
+    }
+
+    /// Drains into a schedule of a *wrapping* event type, anchoring
+    /// delays at `now` and applying `wrap` to each event.
+    ///
+    /// This is the machine-loop fast path: `cedar-core` keeps one
+    /// long-lived outbox and flushes component events into its master
+    /// queue (wrapping them in the master event enum) without allocating
+    /// a fresh buffer per dispatch.
+    pub fn flush_map_into<E2, Q, F>(&mut self, now: SimTime, queue: &mut Q, mut wrap: F)
+    where
+        Q: crate::EventSchedule<E2>,
+        F: FnMut(E) -> E2,
+    {
+        for (delay, ev) in self.items.drain(..) {
+            queue.schedule(now + delay, wrap(ev));
         }
     }
 

@@ -1,15 +1,32 @@
-//! Deterministic pending-event set.
+//! Deterministic pending-event sets.
+//!
+//! Two interchangeable schedulers implement the [`EventSchedule`] trait:
+//!
+//! * [`HeapSchedule`] — the classic `BinaryHeap` future-event set,
+//!   O(log n) per operation;
+//! * [`CalendarSchedule`](crate::calendar::CalendarSchedule) — a
+//!   calendar queue (bucketed wheel over [`SimTime`] with an overflow
+//!   tier), O(1) amortized per operation on the event-dense schedules
+//!   the Cedar machine produces.
+//!
+//! Both pop events in exactly the same order — ascending fire time, ties
+//! broken by scheduling sequence — so whole-run results are bit-identical
+//! whichever is selected. [`EventQueue`] wraps the two behind a single
+//! type and picks the implementation from the `CEDAR_SCHED` environment
+//! variable (`calendar` is the default; set `CEDAR_SCHED=heap` for A/B
+//! verification).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::calendar::CalendarSchedule;
 use crate::time::SimTime;
 
 /// A pending event: fire time, tie-break sequence, payload.
-struct Pending<E> {
-    at: SimTime,
-    seq: u64,
-    payload: E,
+pub(crate) struct Pending<E> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) payload: E,
 }
 
 impl<E> PartialEq for Pending<E> {
@@ -36,11 +53,138 @@ impl<E> Ord for Pending<E> {
     }
 }
 
+/// Common interface of the pending-event set implementations.
+///
+/// The contract every implementor must uphold: [`pop`](Self::pop)
+/// returns events in ascending `(fire time, scheduling sequence)` order,
+/// where the sequence is the number of `schedule` calls made before the
+/// event's own. Simulation determinism rests on this ordering, so it is
+/// exact — not "time order with arbitrary tie-breaks".
+pub trait EventSchedule<E> {
+    /// Schedules `payload` to fire at absolute time `at`.
+    fn schedule(&mut self, at: SimTime, payload: E);
+
+    /// Removes and returns the earliest pending event, or `None` if empty.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Fire time of the earliest pending event without removing it.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Number of events currently pending.
+    fn len(&self) -> usize;
+
+    /// `true` when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events ever scheduled (a cheap proxy for
+    /// simulation work, reported by the bench harness).
+    fn scheduled_total(&self) -> u64;
+}
+
+/// The `BinaryHeap`-backed future-event set: O(log n) schedule and pop.
+///
+/// Kept as the reference implementation for A/B verification of the
+/// calendar queue (`CEDAR_SCHED=heap`).
+pub struct HeapSchedule<E> {
+    heap: BinaryHeap<Pending<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> HeapSchedule<E> {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        HeapSchedule {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Creates an empty schedule with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        HeapSchedule {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+}
+
+impl<E> EventSchedule<E> for HeapSchedule<E> {
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Pending { at, seq, payload });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|p| (p.at, p.payload))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+impl<E> Default for HeapSchedule<E> {
+    fn default() -> Self {
+        HeapSchedule::new()
+    }
+}
+
+/// Which pending-event set implementation an [`EventQueue`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedKind {
+    /// `BinaryHeap` future-event set ([`HeapSchedule`]).
+    Heap,
+    /// Calendar queue ([`CalendarSchedule`](crate::calendar::CalendarSchedule)).
+    Calendar,
+}
+
+impl SchedKind {
+    /// Reads the scheduler selection from `CEDAR_SCHED`.
+    ///
+    /// `calendar` (the default when unset) or `heap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value, so a typo fails loudly instead of
+    /// silently benchmarking the wrong scheduler.
+    pub fn from_env() -> SchedKind {
+        match std::env::var("CEDAR_SCHED") {
+            Err(_) => SchedKind::Calendar,
+            Ok(v) => match v.as_str() {
+                "calendar" | "" => SchedKind::Calendar,
+                "heap" => SchedKind::Heap,
+                other => panic!("CEDAR_SCHED must be `heap` or `calendar`, got `{other}`"),
+            },
+        }
+    }
+}
+
 /// A deterministic future-event set keyed by simulated time.
 ///
 /// Ties in fire time are broken by scheduling order, which makes whole-run
 /// behaviour reproducible: replaying the same schedule yields the same pop
 /// order, bit for bit.
+///
+/// The backing implementation is chosen at construction: `new` and
+/// `with_capacity` consult `CEDAR_SCHED` (see [`SchedKind::from_env`]);
+/// [`heap`](Self::heap), [`calendar`](Self::calendar) and
+/// [`with_kind`](Self::with_kind) select explicitly. Every implementation
+/// pops in the same order, so the choice affects wall-clock speed only.
 ///
 /// # Example
 ///
@@ -54,63 +198,117 @@ impl<E> Ord for Pending<E> {
 /// assert_eq!(q.pop(), Some((Cycles(10), 'b')));
 /// assert_eq!(q.pop(), None);
 /// ```
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Pending<E>>,
-    next_seq: u64,
-    scheduled_total: u64,
+pub struct EventQueue<E>(QueueImpl<E>);
+
+enum QueueImpl<E> {
+    Heap(HeapSchedule<E>),
+    Calendar(CalendarSchedule<E>),
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue of the kind selected by `CEDAR_SCHED`.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            scheduled_total: 0,
+        Self::with_kind(SchedKind::from_env())
+    }
+
+    /// Creates an empty queue of the `CEDAR_SCHED` kind with room for
+    /// `cap` pending events (a pre-allocation hint; the calendar queue
+    /// sizes its buckets lazily and ignores it).
+    pub fn with_capacity(cap: usize) -> Self {
+        match SchedKind::from_env() {
+            SchedKind::Heap => EventQueue(QueueImpl::Heap(HeapSchedule::with_capacity(cap))),
+            SchedKind::Calendar => Self::calendar(),
         }
     }
 
-    /// Creates an empty queue with room for `cap` pending events.
-    pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            next_seq: 0,
-            scheduled_total: 0,
+    /// Creates an empty queue of an explicit kind.
+    pub fn with_kind(kind: SchedKind) -> Self {
+        match kind {
+            SchedKind::Heap => Self::heap(),
+            SchedKind::Calendar => Self::calendar(),
+        }
+    }
+
+    /// Creates an empty `BinaryHeap`-backed queue.
+    pub fn heap() -> Self {
+        EventQueue(QueueImpl::Heap(HeapSchedule::new()))
+    }
+
+    /// Creates an empty calendar-queue-backed queue.
+    pub fn calendar() -> Self {
+        EventQueue(QueueImpl::Calendar(CalendarSchedule::new()))
+    }
+
+    /// The backing implementation in use.
+    pub fn kind(&self) -> SchedKind {
+        match self.0 {
+            QueueImpl::Heap(_) => SchedKind::Heap,
+            QueueImpl::Calendar(_) => SchedKind::Calendar,
         }
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(Pending { at, seq, payload });
+        match &mut self.0 {
+            QueueImpl::Heap(q) => q.schedule(at, payload),
+            QueueImpl::Calendar(q) => q.schedule(at, payload),
+        }
     }
 
     /// Removes and returns the earliest pending event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|p| (p.at, p.payload))
+        match &mut self.0 {
+            QueueImpl::Heap(q) => q.pop(),
+            QueueImpl::Calendar(q) => q.pop(),
+        }
     }
 
     /// Fire time of the earliest pending event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|p| p.at)
+        match &self.0 {
+            QueueImpl::Heap(q) => q.peek_time(),
+            QueueImpl::Calendar(q) => q.peek_time(),
+        }
     }
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.0 {
+            QueueImpl::Heap(q) => EventSchedule::len(q),
+            QueueImpl::Calendar(q) => EventSchedule::len(q),
+        }
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events ever scheduled on this queue (a cheap proxy
     /// for simulation work, reported by the bench harness).
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        match &self.0 {
+            QueueImpl::Heap(q) => EventSchedule::scheduled_total(q),
+            QueueImpl::Calendar(q) => EventSchedule::scheduled_total(q),
+        }
+    }
+}
+
+impl<E> EventSchedule<E> for EventQueue<E> {
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        EventQueue::schedule(self, at, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn scheduled_total(&self) -> u64 {
+        EventQueue::scheduled_total(self)
     }
 }
 
@@ -123,8 +321,9 @@ impl<E> Default for EventQueue<E> {
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
-            .field("scheduled_total", &self.scheduled_total)
+            .field("kind", &self.kind())
+            .field("pending", &self.len())
+            .field("scheduled_total", &self.scheduled_total())
             .finish()
     }
 }
@@ -134,59 +333,90 @@ mod tests {
     use super::*;
     use crate::time::Cycles;
 
+    /// Every behavioural test runs against both implementations.
+    fn both(f: impl Fn(EventQueue<i64>)) {
+        f(EventQueue::heap());
+        f(EventQueue::calendar());
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Cycles(30), 3);
-        q.schedule(Cycles(10), 1);
-        q.schedule(Cycles(20), 2);
-        assert_eq!(q.pop(), Some((Cycles(10), 1)));
-        assert_eq!(q.pop(), Some((Cycles(20), 2)));
-        assert_eq!(q.pop(), Some((Cycles(30), 3)));
-        assert_eq!(q.pop(), None);
+        both(|mut q| {
+            q.schedule(Cycles(30), 3);
+            q.schedule(Cycles(10), 1);
+            q.schedule(Cycles(20), 2);
+            assert_eq!(q.pop(), Some((Cycles(10), 1)));
+            assert_eq!(q.pop(), Some((Cycles(20), 2)));
+            assert_eq!(q.pop(), Some((Cycles(30), 3)));
+            assert_eq!(q.pop(), None);
+        });
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100 {
-            q.schedule(Cycles(7), i);
-        }
-        for i in 0..100 {
-            assert_eq!(q.pop(), Some((Cycles(7), i)));
-        }
+        both(|mut q| {
+            for i in 0..100 {
+                q.schedule(Cycles(7), i);
+            }
+            for i in 0..100 {
+                assert_eq!(q.pop(), Some((Cycles(7), i)));
+            }
+        });
     }
 
     #[test]
     fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(Cycles(5), 'a');
-        assert_eq!(q.pop(), Some((Cycles(5), 'a')));
-        q.schedule(Cycles(3), 'b');
-        q.schedule(Cycles(1), 'c');
-        assert_eq!(q.pop(), Some((Cycles(1), 'c')));
-        q.schedule(Cycles(2), 'd');
-        assert_eq!(q.pop(), Some((Cycles(2), 'd')));
-        assert_eq!(q.pop(), Some((Cycles(3), 'b')));
+        both(|mut q| {
+            q.schedule(Cycles(5), 0);
+            assert_eq!(q.pop(), Some((Cycles(5), 0)));
+            q.schedule(Cycles(3), 1);
+            q.schedule(Cycles(1), 2);
+            assert_eq!(q.pop(), Some((Cycles(1), 2)));
+            q.schedule(Cycles(2), 3);
+            assert_eq!(q.pop(), Some((Cycles(2), 3)));
+            assert_eq!(q.pop(), Some((Cycles(3), 1)));
+        });
     }
 
     #[test]
     fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.schedule(Cycles(4), ());
-        assert_eq!(q.peek_time(), Some(Cycles(4)));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        both(|mut q| {
+            q.schedule(Cycles(4), 0);
+            assert_eq!(q.peek_time(), Some(Cycles(4)));
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+        });
     }
 
     #[test]
     fn counts_total_scheduled() {
-        let mut q = EventQueue::new();
-        for i in 0..5 {
-            q.schedule(Cycles(i), i);
+        both(|mut q| {
+            for i in 0..5 {
+                q.schedule(Cycles(i as u64), i);
+            }
+            while q.pop().is_some() {}
+            assert_eq!(q.scheduled_total(), 5);
+            assert!(q.is_empty());
+        });
+    }
+
+    #[test]
+    fn explicit_kinds_are_honoured() {
+        assert_eq!(EventQueue::<u8>::heap().kind(), SchedKind::Heap);
+        assert_eq!(EventQueue::<u8>::calendar().kind(), SchedKind::Calendar);
+        assert_eq!(
+            EventQueue::<u8>::with_kind(SchedKind::Heap).kind(),
+            SchedKind::Heap
+        );
+    }
+
+    #[test]
+    fn default_kind_is_calendar_when_env_unset() {
+        // The test environment never sets CEDAR_SCHED; if it does, the
+        // selection must still round-trip through `from_env`.
+        assert_eq!(EventQueue::<u8>::new().kind(), SchedKind::from_env());
+        if std::env::var("CEDAR_SCHED").is_err() {
+            assert_eq!(SchedKind::from_env(), SchedKind::Calendar);
         }
-        while q.pop().is_some() {}
-        assert_eq!(q.scheduled_total(), 5);
-        assert!(q.is_empty());
     }
 }

@@ -182,10 +182,7 @@ impl TaskBreakdown {
 /// that span (the off-line analysis cannot see OS stalls either), so the
 /// result can be slightly *larger* than the machine's directly-charged
 /// breakdown, never smaller.
-pub fn from_lead_trace(
-    events: &[crate::event::TraceEvent],
-    lead: cedar_hw::CeId,
-) -> TaskBreakdown {
+pub fn from_lead_trace(events: &[crate::event::TraceEvent], lead: cedar_hw::CeId) -> TaskBreakdown {
     use crate::event::TraceEventId as Id;
     let mut b = TaskBreakdown::new();
     let mut mode: Option<(UserBucket, u64)> = None; // (bucket, start ticks)
@@ -194,10 +191,7 @@ pub fn from_lead_trace(
         let t = e.at.0;
         let close = |b: &mut TaskBreakdown, mode: &mut Option<(UserBucket, u64)>, t: u64| {
             if let Some((bucket, start)) = mode.take() {
-                b.charge(
-                    bucket,
-                    Cycles((t - start) / cedar_sim::HPM_TICKS_PER_CYCLE),
-                );
+                b.charge(bucket, Cycles((t - start) / cedar_sim::HPM_TICKS_PER_CYCLE));
             }
         };
         let open = |mode: &mut Option<(UserBucket, u64)>, bucket: UserBucket, t: u64| {

@@ -113,7 +113,7 @@ mod tests {
     #[test]
     fn drops_unmatched_enter_and_stray_exit() {
         let events = vec![
-            ev(TraceEventId::IterEnd, 0, 5, 0), // stray exit
+            ev(TraceEventId::IterEnd, 0, 5, 0),    // stray exit
             ev(TraceEventId::IterStart, 0, 10, 0), // never closed
         ];
         let iv = pair_intervals(&events, TraceEventId::IterStart, TraceEventId::IterEnd);

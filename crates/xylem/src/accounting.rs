@@ -2,9 +2,9 @@
 
 use std::fmt;
 
+use cedar_hw::ClusterId;
 use cedar_sim::stats::DurationAccum;
 use cedar_sim::Cycles;
-use cedar_hw::ClusterId;
 
 /// The OS activities the paper's instrumentation distinguishes (Table 2),
 /// plus the kernel-lock spin bucket reported in Figure 3.
@@ -153,8 +153,7 @@ impl OsAccounting {
 
     /// Charges `duration` of CE-time on `cluster` to `activity`.
     pub fn charge(&mut self, cluster: ClusterId, activity: OsActivity, duration: Cycles) {
-        self.clusters[cluster.0 as usize].buckets[ClusterAccounting::index(activity)]
-            .add(duration);
+        self.clusters[cluster.0 as usize].buckets[ClusterAccounting::index(activity)].add(duration);
     }
 
     /// One cluster's accounting.
@@ -164,10 +163,7 @@ impl OsAccounting {
 
     /// Total CE-time charged to `activity` across all clusters.
     pub fn total(&self, activity: OsActivity) -> Cycles {
-        self.clusters
-            .iter()
-            .map(|c| c.get(activity).total())
-            .sum()
+        self.clusters.iter().map(|c| c.get(activity).total()).sum()
     }
 
     /// Total CE-time charged to a Figure 3 category across all clusters.
@@ -204,7 +200,10 @@ mod tests {
         acc.charge(ClusterId(0), OsActivity::Ctx, Cycles(30));
         assert_eq!(acc.total(OsActivity::Cpi), Cycles(150));
         assert_eq!(acc.total(OsActivity::Ctx), Cycles(30));
-        assert_eq!(acc.cluster(ClusterId(0)).get(OsActivity::Cpi).total(), Cycles(100));
+        assert_eq!(
+            acc.cluster(ClusterId(0)).get(OsActivity::Cpi).total(),
+            Cycles(100)
+        );
         assert_eq!(acc.cluster(ClusterId(0)).get(OsActivity::Cpi).samples(), 1);
     }
 

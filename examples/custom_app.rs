@@ -65,9 +65,7 @@ fn main() {
             .max()
             .copied()
             .unwrap_or(0);
-        println!(
-            "  sync ops on hottest memory module: {max_sync} (lock traffic)\n"
-        );
+        println!("  sync ops on hottest memory module: {max_sync} (lock traffic)\n");
     }
     println!("The hierarchical construct exploits the clustering hardware during");
     println!("work distribution; the flat construct treats Cedar as 32 independent");

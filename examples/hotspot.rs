@@ -28,7 +28,13 @@ fn main() {
         let app = synthetic::hotspot(4, 256);
         let run = Experiment::new(app, SimConfig::cedar(c)).run();
         let total: u64 = run.gmem.module_sync_requests.iter().sum();
-        let hot = run.gmem.module_sync_requests.iter().max().copied().unwrap_or(0);
+        let hot = run
+            .gmem
+            .module_sync_requests
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or(0);
         println!(
             "{:>8} | {:>10.4} | {:>12} | {:>14.1} | {:>12.2}",
             c.label(),

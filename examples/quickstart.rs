@@ -14,18 +14,32 @@ use cedar::trace::UserBucket;
 fn main() {
     // FLO52 at a reduced time-step count so the example finishes in a
     // couple of seconds; drop `.shrunk(2)` for the publication scale.
-    let app = app_by_name("FLO52").expect("FLO52 is in the suite").shrunk(2);
+    let app = app_by_name("FLO52")
+        .expect("FLO52 is in the suite")
+        .shrunk(2);
 
     println!("running {} on 1 processor (baseline)...", app.name);
     let baseline = Experiment::new(app.clone(), SimConfig::cedar(Configuration::P1)).run();
 
-    println!("running {} on the 4-cluster/32-processor Cedar...", app.name);
+    println!(
+        "running {} on the 4-cluster/32-processor Cedar...",
+        app.name
+    );
     let run = Experiment::new(app, SimConfig::cedar(Configuration::P32)).run();
 
     println!();
-    println!("completion time : {:.4}s (scaled seconds)", run.ct_seconds());
-    println!("speedup         : {:.2}x over 1 processor", run.speedup_over(&baseline));
-    println!("avg concurrency : {:.2} of 32 processors", run.total_concurrency());
+    println!(
+        "completion time : {:.4}s (scaled seconds)",
+        run.ct_seconds()
+    );
+    println!(
+        "speedup         : {:.2}x over 1 processor",
+        run.speedup_over(&baseline)
+    );
+    println!(
+        "avg concurrency : {:.2} of 32 processors",
+        run.total_concurrency()
+    );
     println!();
 
     // The three overhead families the paper characterizes:

@@ -55,10 +55,6 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "Note: speedups stay below the average concurrency — part of every"
-    );
-    println!(
-        "active processor's time goes to the overheads above (§3.1 result 2)."
-    );
+    println!("Note: speedups stay below the average concurrency — part of every");
+    println!("active processor's time goes to the overheads above (§3.1 result 2).");
 }

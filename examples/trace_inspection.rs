@@ -24,7 +24,11 @@ fn main() {
     let run = Experiment::new(app, cfg).run();
     let trace = run.trace.as_ref().expect("trace was kept");
 
-    println!("trace contains {} events over {:.4}s", trace.len(), run.ct_seconds());
+    println!(
+        "trace contains {} events over {:.4}s",
+        trace.len(),
+        run.ct_seconds()
+    );
 
     // Reconstruct iteration-body intervals, exactly as the off-line
     // analysis of the off-loaded trace buffers would.
@@ -38,7 +42,10 @@ fn main() {
         e.1 += iv.duration();
     }
     println!("\nper-processor iteration profile:");
-    println!("{:>6} | {:>6} | {:>12} | {:>10}", "CE", "iters", "busy (cy)", "% of CT");
+    println!(
+        "{:>6} | {:>6} | {:>12} | {:>10}",
+        "CE", "iters", "busy (cy)", "% of CT"
+    );
     println!("{}", "-".repeat(44));
     for (ce, (count, busy)) in &per_ce {
         println!(
@@ -51,7 +58,11 @@ fn main() {
     }
 
     // Show the self-scheduling in action: the first few pick-up episodes.
-    let picks = pair_intervals(trace, TraceEventId::PickIterEnter, TraceEventId::PickIterExit);
+    let picks = pair_intervals(
+        trace,
+        TraceEventId::PickIterEnter,
+        TraceEventId::PickIterExit,
+    );
     println!("\nfirst five iteration pick-ups (self-scheduling on the global lock):");
     for iv in picks.iter().take(5) {
         println!(

@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Benchmark regression gate: run the scheduler/suite benchmark and
+# compare the fresh results against the committed baseline.
+#
+#   ./scripts/bench_check.sh            # what CI runs
+#
+# Fails (non-zero exit) when either:
+#   - the fresh `suite/mini_campaign` median exceeds the baseline's by
+#     more than 15%, or
+#   - the calendar scheduler drops below 1.3x over the heap on the
+#     event-dense network workload (checked within the fresh run, so it
+#     holds on any machine speed).
+#
+# Refreshing the baseline: after an *intentional* performance change
+# (or a change of reference hardware), re-pin it with
+#
+#   BENCH_ITERS=5 cargo bench --offline -p cedar-bench --bench scheduler
+#   cp results/BENCH_scheduler.json results/bench_baseline.json
+#
+# and commit results/bench_baseline.json together with the change that
+# explains it. Fresh BENCH_*.json files are gitignored; only the
+# baseline is tracked.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ITERS="${BENCH_ITERS:-5}"
+
+echo "==> scheduler benchmark (BENCH_ITERS=$ITERS)"
+BENCH_ITERS="$ITERS" cargo bench --offline -p cedar-bench --bench scheduler
+
+echo "==> bench gate: fresh vs results/bench_baseline.json"
+cargo run -q --release --offline -p cedar-bench --bin bench_gate -- \
+    results/BENCH_scheduler.json results/bench_baseline.json

@@ -20,7 +20,7 @@ use cedar::sim::SplitMix64;
 fn arb_app(rng: &mut SplitMix64) -> AppSpec {
     let serial_k = rng.next_range(1, 2);
     let loops = rng.next_range(1, 3);
-    let flat = rng.next_u64() % 2 == 0; // xdoall vs sdoall
+    let flat = rng.next_u64().is_multiple_of(2); // xdoall vs sdoall
     let outer = rng.next_range(2, 12) as u32;
     let inner = rng.next_range(1, 12) as u32;
     let compute = rng.next_range(50, 600);
@@ -138,7 +138,10 @@ fn delta_routing_is_well_formed() {
     for src in 0u16..32 {
         for dst in 0u16..32 {
             // Stage-1 port leads to the stage-2 switch serving dst.
-            assert_eq!(g.stage1_port(dst) % g.switches_per_stage(), g.stage2_switch(dst));
+            assert_eq!(
+                g.stage1_port(dst) % g.switches_per_stage(),
+                g.stage2_switch(dst)
+            );
             // Output port identifies the destination within its switch.
             assert_eq!(g.stage2_switch(dst) * g.radix() + g.stage2_port(dst), dst);
             // Sources attach to exactly one stage-1 switch.

@@ -15,8 +15,14 @@ fn trace_iteration_count_matches_bodies_executed() {
     let expected = app.total_bodies();
     let run = Experiment::new(app, SimConfig::cedar(Configuration::P8).with_trace()).run();
     let trace = run.trace.as_ref().unwrap();
-    let starts = trace.iter().filter(|e| e.id == TraceEventId::IterStart).count() as u64;
-    let ends = trace.iter().filter(|e| e.id == TraceEventId::IterEnd).count() as u64;
+    let starts = trace
+        .iter()
+        .filter(|e| e.id == TraceEventId::IterStart)
+        .count() as u64;
+    let ends = trace
+        .iter()
+        .filter(|e| e.id == TraceEventId::IterEnd)
+        .count() as u64;
     assert_eq!(starts, expected);
     assert_eq!(ends, expected);
     assert_eq!(run.bodies, expected);
@@ -48,10 +54,7 @@ fn trace_derived_barrier_time_matches_charged_bucket() {
 
 #[test]
 fn serial_sections_pair_up_in_the_trace() {
-    let app = AppBuilder::new("S")
-        .serial(5_000)
-        .serial(7_000)
-        .build();
+    let app = AppBuilder::new("S").serial(5_000).serial(7_000).build();
     let run = Experiment::new(app, SimConfig::cedar(Configuration::P1).with_trace()).run();
     let trace = run.trace.as_ref().unwrap();
     let serials = pair_intervals(trace, TraceEventId::SerialStart, TraceEventId::SerialEnd);
@@ -157,17 +160,13 @@ fn trace_reconstruction_approximates_charged_breakdown() {
         let a = reconstructed.get(bucket).0 as f64;
         let b = charged.get(bucket).0 as f64;
         let tol = (b * 0.3).max(2_000.0);
-        assert!(
-            (a - b).abs() <= tol,
-            "{bucket:?}: trace {a} vs charged {b}"
-        );
+        assert!((a - b).abs() <= tol, "{bucket:?}: trace {a} vs charged {b}");
     }
     // Loop-execution time: the trace view merges iter/pickup/sync
     // micro-transitions differently, so compare the aggregate.
-    let a = reconstructed.parallel_execution().0 as f64 +
-        reconstructed.get(UserBucket::PickupSdoall).0 as f64;
-    let b = charged.parallel_execution().0 as f64 +
-        charged.get(UserBucket::PickupSdoall).0 as f64;
+    let a = reconstructed.parallel_execution().0 as f64
+        + reconstructed.get(UserBucket::PickupSdoall).0 as f64;
+    let b = charged.parallel_execution().0 as f64 + charged.get(UserBucket::PickupSdoall).0 as f64;
     assert!(
         (a - b).abs() <= b * 0.25 + 2_000.0,
         "aggregate loop time: trace {a} vs charged {b}"

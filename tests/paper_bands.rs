@@ -148,9 +148,7 @@ fn figure5_flo52_helper_wait_band() {
     // Paper: ~34% at 32p; we land at 40-44%.
     let r = campaign().app("FLO52").run(Configuration::P32);
     for b in r.helper_breakdowns() {
-        let wait = b
-            .get(UserBucket::HelperWait)
-            .fraction_of(r.completion_time);
+        let wait = b.get(UserBucket::HelperWait).fraction_of(r.completion_time);
         assert!(
             (0.25..=0.55).contains(&wait),
             "FLO52 helper wait {wait} out of band"

@@ -36,8 +36,8 @@ fn render_all(suite: &SuiteResult) -> String {
 fn parallel_grid_is_byte_identical_to_sequential() {
     let apps = grid_apps();
     let sequential = SuiteResult::run_sequential(&apps, &Configuration::ALL);
-    let parallel = SuiteResult::run_parallel(&apps, &Configuration::ALL, None)
-        .expect("no experiment panics");
+    let parallel =
+        SuiteResult::run_parallel(&apps, &Configuration::ALL, None).expect("no experiment panics");
     assert_eq!(
         render_all(&sequential),
         render_all(&parallel),
@@ -57,7 +57,10 @@ fn parallel_grid_is_byte_identical_to_sequential() {
 fn worker_count_does_not_change_the_flo52_p8_measurements() {
     // The satellite check: FLO52 on the 8-processor Cedar under 1, 2 and
     // 8 workers — identical cycle totals and overhead breakdowns.
-    let apps: Vec<AppSpec> = grid_apps().into_iter().filter(|a| a.name == "FLO52").collect();
+    let apps: Vec<AppSpec> = grid_apps()
+        .into_iter()
+        .filter(|a| a.name == "FLO52")
+        .collect();
     assert_eq!(apps.len(), 1);
     let runs: Vec<SuiteResult> = [1usize, 2, 8]
         .iter()

@@ -29,7 +29,10 @@ fn run(name: &str, c: Configuration) -> RunResult {
 fn suite_has_the_papers_construct_usage() {
     let suite = perfect_suite();
     let by = |n: &str| suite.iter().find(|a| a.name == n).unwrap();
-    assert!(!by("FLO52").uses_xdoall(), "FLO52 is hierarchical-only (S2)");
+    assert!(
+        !by("FLO52").uses_xdoall(),
+        "FLO52 is hierarchical-only (S2)"
+    );
     assert!(!by("ADM").uses_sdoall(), "ADM is flat-only (S2)");
     for n in ["ARC2D", "MDG", "OCEAN"] {
         assert!(by(n).uses_sdoall() && by(n).uses_xdoall());
@@ -113,9 +116,7 @@ fn os_overhead_grows_with_processors() {
     // §5: kernel lock spin stays negligible. (At debug-build shrink the
     // page-fault bursts concentrate 12x, so the bound is looser there.)
     let bound = if cfg!(debug_assertions) { 0.08 } else { 0.03 };
-    let spin = p32.utilization[0]
-        .spin
-        .fraction_of(p32.completion_time);
+    let spin = p32.utilization[0].spin.fraction_of(p32.completion_time);
     assert!(spin < bound, "kernel spin {spin} should stay negligible");
 }
 
@@ -126,7 +127,10 @@ fn contention_overhead_increases_with_scale_for_balanced_apps() {
     let p32 = run("MDG", Configuration::P32);
     let o4 = contention_overhead(&base, &p4).overhead_pct;
     let o32 = contention_overhead(&base, &p32).overhead_pct;
-    assert!(o32 > o4, "MDG contention must grow with processors (Table 4)");
+    assert!(
+        o32 > o4,
+        "MDG contention must grow with processors (Table 4)"
+    );
     assert!(o4 < 10.0, "MDG contention is small at 4 processors");
 }
 
