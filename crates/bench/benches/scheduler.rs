@@ -114,6 +114,7 @@ fn bench_suite(h: &mut Harness) {
         black_box(SuiteResult::measure(
             &apps,
             &[Configuration::P1, Configuration::P8, Configuration::P32],
+            cedar_bench::run_options(),
         ))
     });
 }

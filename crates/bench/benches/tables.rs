@@ -19,6 +19,7 @@ fn mini_campaign() -> SuiteResult {
     SuiteResult::measure(
         &apps,
         &[Configuration::P1, Configuration::P8, Configuration::P32],
+        cedar_bench::run_options(),
     )
 }
 

@@ -9,6 +9,8 @@ use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
 fn main() {
+    let opts = cedar_bench::run_options();
+    let workers = opts.workers.unwrap_or_else(pool::default_workers);
     println!("Construct ablation: 20 steps x 2 loops of 128 iterations (c=1200, 8 words)");
     println!(
         "{:>8} | {:>14} | {:>14} | {:>10} | {:>12}",
@@ -16,15 +18,19 @@ fn main() {
     );
     println!("{}", "-".repeat(72));
     let pairs = pool::run_jobs(
-        pool::default_workers(),
+        workers,
         Configuration::ALL
             .into_iter()
             .map(|c| {
                 move || {
                     let flat = synthetic::uniform_xdoall(20, 2, 128, 1200, 8);
                     let hier = synthetic::uniform_sdoall(20, 2, 16, 8, 1200, 8);
-                    let rf = Experiment::new(flat, SimConfig::cedar(c)).run();
-                    let rh = Experiment::new(hier, SimConfig::cedar(c)).run();
+                    let rf =
+                        Experiment::new(flat, SimConfig::cedar(c).with_scheduler(opts.scheduler))
+                            .run();
+                    let rh =
+                        Experiment::new(hier, SimConfig::cedar(c).with_scheduler(opts.scheduler))
+                            .run();
                     (rf, rh)
                 }
             })

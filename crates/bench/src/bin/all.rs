@@ -1,8 +1,10 @@
 //! Runs the full measurement campaign and regenerates every table and
-//! figure of the paper, plus machine-readable CSVs under `results/`.
+//! figure of the paper, plus machine-readable CSVs and the run manifest
+//! (`RUN_manifest.json`) under `results/`.
 use std::fs;
 
 fn main() {
+    let opts = cedar_bench::run_options();
     let suite = cedar_bench::campaign();
     println!("{}", cedar_report::tables::table1(suite));
     println!("{}", cedar_report::figures::figure3(suite));
@@ -25,5 +27,13 @@ fn main() {
             cedar_report::csv::concurrency_csv(suite),
         );
         println!("CSV output written to results/");
+    }
+    match cedar_bench::manifest::write(suite, opts) {
+        Ok(paths) => {
+            for p in paths {
+                println!("run manifest written to {}", p.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not write run manifest: {e}"),
     }
 }

@@ -18,6 +18,8 @@ use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
 fn main() {
+    let opts = cedar_bench::run_options();
+    let workers = opts.workers.unwrap_or_else(pool::default_workers);
     println!("Sweep 1: xdoall granularity vs distribution overhead (32 proc)");
     println!(
         "{:>12} | {:>10} | {:>12} | {:>10}",
@@ -26,13 +28,17 @@ fn main() {
     println!("{}", "-".repeat(52));
     let computes = [200u64, 500, 1_000, 2_000, 5_000, 10_000, 20_000];
     let runs = pool::run_jobs(
-        pool::default_workers(),
+        workers,
         computes
             .iter()
             .map(|&compute| {
                 move || {
                     let app = synthetic::uniform_xdoall(4, 2, 64, compute, 8);
-                    Experiment::new(app, SimConfig::cedar(Configuration::P32)).run()
+                    Experiment::new(
+                        app,
+                        SimConfig::cedar(Configuration::P32).with_scheduler(opts.scheduler),
+                    )
+                    .run()
                 }
             })
             .collect(),
@@ -68,14 +74,22 @@ fn main() {
     println!("{}", "-".repeat(54));
     let word_counts = [0u32, 8, 16, 32, 64, 96];
     let pairs = pool::run_jobs(
-        pool::default_workers(),
+        workers,
         word_counts
             .iter()
             .map(|&words| {
                 move || {
                     let mk = || synthetic::uniform_sdoall(4, 2, 8, 16, 400, words);
-                    let base = Experiment::new(mk(), SimConfig::cedar(Configuration::P1)).run();
-                    let run = Experiment::new(mk(), SimConfig::cedar(Configuration::P32)).run();
+                    let base = Experiment::new(
+                        mk(),
+                        SimConfig::cedar(Configuration::P1).with_scheduler(opts.scheduler),
+                    )
+                    .run();
+                    let run = Experiment::new(
+                        mk(),
+                        SimConfig::cedar(Configuration::P32).with_scheduler(opts.scheduler),
+                    )
+                    .run();
                     (base, run)
                 }
             })

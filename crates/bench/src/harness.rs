@@ -6,16 +6,19 @@
 //! print as an aligned table and are written as machine-readable JSON to
 //! `results/BENCH_<suite>.json` for trajectory tracking across commits.
 //!
-//! Environment knobs:
-//!
-//! * `BENCH_SMOKE=1` — one timed iteration, no warmup (CI smoke mode);
-//! * `BENCH_ITERS=n` — timed-iteration count (default 30);
-//! * `BENCH_WARMUP=n` — warmup-iteration count (default 5);
-//! * `BENCH_JSON_DIR=dir` — where the JSON lands (default: the
-//!   workspace-root `results/`).
+//! Iteration counts and the output directory come from a typed
+//! [`RunOptions`] value ([`Harness::with_options`]); the plain
+//! [`Harness::new`] uses the process-wide [`crate::run_options`], so the
+//! environment knobs (`BENCH_SMOKE=1` — one timed iteration, no warmup;
+//! `BENCH_ITERS=n` — timed iterations, default 30; `BENCH_WARMUP=n` —
+//! warmup iterations, default 5; `BENCH_JSON_DIR=dir` — where the JSON
+//! lands) still work, parsed exactly once by
+//! [`cedar_obs::RunOptions::from_env`].
 
 use std::hint::black_box as hint_black_box;
 use std::time::Instant;
+
+use cedar_obs::RunOptions;
 
 /// An opaque value sink preventing the optimizer from deleting the
 /// benchmarked computation.
@@ -101,43 +104,44 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn env_u32(name: &str, default: u32) -> u32 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 /// A suite of benchmarks sharing warmup/iteration settings.
 pub struct Harness {
     suite: String,
     warmup: u32,
     iters: u32,
+    out_dir: Option<std::path::PathBuf>,
     results: Vec<BenchStats>,
 }
 
 impl Harness {
-    /// Creates a harness for `suite`, reading iteration counts from the
-    /// environment (`BENCH_SMOKE`, `BENCH_ITERS`, `BENCH_WARMUP`).
+    /// Creates a harness for `suite` under the process-wide
+    /// [`crate::run_options`] (the `BENCH_*` environment, parsed once).
     pub fn new(suite: &str) -> Harness {
-        let smoke = std::env::var("BENCH_SMOKE")
-            .map(|v| v == "1")
-            .unwrap_or(false);
-        let (warmup, iters) = if smoke {
+        Harness::with_options(suite, crate::run_options())
+    }
+
+    /// Creates a harness for `suite` with explicit, typed settings:
+    /// `opts.smoke` forces one timed iteration with no warmup;
+    /// otherwise `opts.bench_warmup`/`opts.bench_iters` apply (defaults
+    /// 5 and 30); `opts.output_dir` overrides where
+    /// [`finish`](Self::finish) writes the JSON.
+    pub fn with_options(suite: &str, opts: &RunOptions) -> Harness {
+        let (warmup, iters) = if opts.smoke {
             (0, 1)
         } else {
             (
-                env_u32("BENCH_WARMUP", 5),
-                env_u32("BENCH_ITERS", 30).max(1),
+                opts.bench_warmup.unwrap_or(5),
+                opts.bench_iters.unwrap_or(30).max(1),
             )
         };
-        if smoke {
-            eprintln!("[{suite}] BENCH_SMOKE=1 — single iteration, timings not meaningful");
+        if opts.smoke {
+            eprintln!("[{suite}] smoke mode — single iteration, timings not meaningful");
         }
         Harness {
             suite: suite.to_string(),
             warmup,
             iters,
+            out_dir: opts.output_dir.clone(),
             results: Vec::new(),
         }
     }
@@ -179,15 +183,13 @@ impl Harness {
         )
     }
 
-    /// Writes `BENCH_<suite>.json` under `BENCH_JSON_DIR` (default: the
-    /// workspace-root `results/`, regardless of the bench cwd) and
-    /// returns the path written.
+    /// Writes `BENCH_<suite>.json` under the configured output
+    /// directory (default: the workspace-root `results/`, regardless of
+    /// the bench cwd) and returns the path written.
     pub fn finish(self) -> std::io::Result<std::path::PathBuf> {
-        let dir = std::env::var("BENCH_JSON_DIR")
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(|_| {
-                std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
-            });
+        let dir = self.out_dir.clone().unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+        });
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("BENCH_{}.json", self.suite));
         std::fs::write(&path, self.to_json())?;
@@ -242,6 +244,7 @@ mod tests {
             suite: "unit".into(),
             warmup: 0,
             iters: 3,
+            out_dir: None,
             results: Vec::new(),
         };
         let mut calls = 0u32;
@@ -263,6 +266,7 @@ mod tests {
             suite: "unit".into(),
             warmup: 0,
             iters: 8,
+            out_dir: None,
             results: Vec::new(),
         };
         let s = h.bench("spin", || {

@@ -15,55 +15,75 @@
 //! | `hotspot`| the Pfister & Norton hot-spot ablation (§6 discussion)  |
 //! | `ablation` | xdoall-vs-sdoall rewrite ablation (§6 suggestion)     |
 //!
-//! Set `CEDAR_SHRINK=<n>` to divide every time-step count by `n` for a
-//! quick (non-publication) pass, and `CEDAR_WORKERS=<n>` to bound the
-//! worker pool that fans the campaign grid across cores.
+//! All binaries are configured by one typed [`cedar_obs::RunOptions`]
+//! value, parsed **once** from the `CEDAR_*`/`BENCH_*` environment by
+//! [`run_options`] and passed down explicitly — no library code below
+//! this point reads `std::env`. The knobs: `CEDAR_SHRINK=<n>` divides
+//! every time-step count by `n` for a quick (non-publication) pass,
+//! `CEDAR_WORKERS=<n>` bounds the worker pool, `CEDAR_SCHED` picks the
+//! pending-event-set implementation, and `CEDAR_OBS` sets the telemetry
+//! level (`off`/`summary`/`full`).
 //!
 //! The former criterion benches now run on the in-repo [`harness`]
 //! (`cargo bench --offline`); `BENCH_SMOKE=1` reduces them to one
-//! iteration for CI.
+//! iteration for CI. Campaign runs write a run manifest (and, at
+//! `CEDAR_OBS=full`, a JSONL telemetry stream) via [`manifest`].
 
 pub mod gate;
 pub mod harness;
+pub mod manifest;
 
 use std::sync::OnceLock;
 
 use cedar_apps::AppSpec;
-use cedar_core::pool;
 use cedar_core::suite::SuiteResult;
 use cedar_hw::Configuration;
+use cedar_obs::RunOptions;
 
-/// The shrink factor from `CEDAR_SHRINK` (default 1 = full scale).
-pub fn shrink_factor() -> u32 {
-    std::env::var("CEDAR_SHRINK")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(1)
+/// The process-wide run options, parsed from the environment exactly
+/// once. This is the single place the bench binaries touch `CEDAR_*` /
+/// `BENCH_*`; everything downstream takes the typed value.
+pub fn run_options() -> &'static RunOptions {
+    static OPTS: OnceLock<RunOptions> = OnceLock::new();
+    OPTS.get_or_init(RunOptions::from_env)
 }
 
-/// The (possibly shrunk) Perfect suite.
-pub fn suite_apps() -> Vec<AppSpec> {
-    let f = shrink_factor();
+/// The shrink factor of `opts` (1 = full scale).
+pub fn shrink_factor(opts: &RunOptions) -> u32 {
+    opts.shrink
+}
+
+/// The Perfect suite at the scale `opts` asks for.
+pub fn suite_apps(opts: &RunOptions) -> Vec<AppSpec> {
+    let f = opts.shrink;
     cedar_apps::perfect_suite()
         .into_iter()
         .map(|a| if f > 1 { a.shrunk(f) } else { a })
         .collect()
 }
 
-/// Runs the full measurement campaign once per process and caches it —
-/// every table/figure binary shares the same run.
+/// Runs the full measurement campaign once per process under
+/// [`run_options`] and caches it — every table/figure binary shares the
+/// same run.
 pub fn campaign() -> &'static SuiteResult {
     static CAMPAIGN: OnceLock<SuiteResult> = OnceLock::new();
     CAMPAIGN.get_or_init(|| {
-        let f = shrink_factor();
-        if f > 1 {
-            eprintln!("note: CEDAR_SHRINK={f} — quick pass, not publication scale");
+        let opts = run_options();
+        if opts.shrink > 1 {
+            eprintln!(
+                "note: CEDAR_SHRINK={} — quick pass, not publication scale",
+                opts.shrink
+            );
         }
-        let workers = pool::default_workers();
-        eprintln!("running measurement campaign (5 apps x 5 configurations, {workers} workers)...");
+        let workers = opts
+            .workers
+            .unwrap_or_else(cedar_core::pool::default_workers);
+        eprintln!(
+            "running measurement campaign (5 apps x 5 configurations, {workers} workers, {} scheduler)...",
+            opts.scheduler.as_str()
+        );
         let t0 = std::time::Instant::now();
-        let suite = SuiteResult::run_parallel(&suite_apps(), &Configuration::ALL, Some(workers))
+        let suite = SuiteResult::run_parallel(&suite_apps(opts), &Configuration::ALL, opts)
             .expect("campaign experiment panicked");
         eprintln!("campaign done in {:.1}s", t0.elapsed().as_secs_f64());
         suite
@@ -75,14 +95,24 @@ mod tests {
     use super::*;
 
     #[test]
-    fn shrink_factor_defaults_to_one() {
-        // The test environment does not set CEDAR_SHRINK.
-        assert!(shrink_factor() >= 1);
+    fn shrink_factor_mirrors_options() {
+        assert_eq!(shrink_factor(&RunOptions::default()), 1);
+        assert_eq!(shrink_factor(&RunOptions::default().with_shrink(8)), 8);
     }
 
     #[test]
     fn suite_apps_are_the_perfect_five() {
-        let names: Vec<_> = suite_apps().iter().map(|a| a.name).collect();
+        let names: Vec<_> = suite_apps(&RunOptions::default())
+            .iter()
+            .map(|a| a.name)
+            .collect();
+        assert_eq!(names, vec!["FLO52", "ARC2D", "MDG", "OCEAN", "ADM"]);
+    }
+
+    #[test]
+    fn shrunk_suite_keeps_names() {
+        let opts = RunOptions::default().with_shrink(16);
+        let names: Vec<_> = suite_apps(&opts).iter().map(|a| a.name).collect();
         assert_eq!(names, vec!["FLO52", "ARC2D", "MDG", "OCEAN", "ADM"]);
     }
 }

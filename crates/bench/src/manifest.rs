@@ -1,0 +1,179 @@
+//! The run manifest: the campaign's self-measurement, applied to the
+//! simulator the way the paper applied cedarhpm to Cedar.
+//!
+//! After a campaign, [`write`] drops `RUN_manifest.json` next to the
+//! tables' CSVs: the typed [`RunOptions`] the run was configured with
+//! (plus their stable fingerprint), best-effort git provenance, event
+//! totals, the merged counter rollup (per-class event counts, queue and
+//! outbox statistics, hold-latency histogram), per-phase wall-clock, and
+//! the worker pool's busy/idle accounting. At `CEDAR_OBS=full` a
+//! `RUN_telemetry.jsonl` stream rides along — one JSON line per
+//! `(application, configuration)` run with that run's own counters.
+//!
+//! Every field except the `*_ns` wall-clock timings, `utilization`, and
+//! the `git` line is deterministic for a fixed configuration, so two
+//! manifests from identical runs diff clean once timings are masked.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cedar_core::suite::SuiteResult;
+use cedar_obs::json::{self, Obj};
+use cedar_obs::{Counters, RunOptions, TelemetryLevel};
+
+/// Where campaign artifacts land when `opts.output_dir` is unset: the
+/// workspace-root `results/`, regardless of the binary's cwd.
+fn default_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+fn counters_obj(counters: &Counters) -> String {
+    let mut o = Obj::new();
+    for (name, value) in counters.iter() {
+        o.u64(name, value);
+    }
+    o.finish()
+}
+
+fn options_obj(opts: &RunOptions) -> String {
+    let mut o = Obj::new();
+    o.str("scheduler", opts.scheduler.as_str());
+    o.opt_u64("workers", opts.workers.map(|w| w as u64));
+    o.u64("shrink", opts.shrink as u64);
+    o.bool("smoke", opts.smoke);
+    o.str("telemetry", opts.telemetry.as_str());
+    o.finish()
+}
+
+/// Renders `RUN_manifest.json` for a finished campaign.
+pub fn manifest_json(suite: &SuiteResult, opts: &RunOptions) -> String {
+    let t = &suite.telemetry;
+    let runs: usize = suite.apps.iter().map(|a| a.runs.len()).sum();
+    let mut o = Obj::new();
+    o.str("schema", "cedar-obs/1");
+    o.str(
+        "fingerprint",
+        &format!("{:016x}", json::fnv1a(opts.fingerprint_seed().as_bytes())),
+    );
+    o.raw("options", options_obj(opts));
+    o.u64(
+        "seed",
+        cedar_core::SimConfig::cedar(cedar_hw::Configuration::P1).seed,
+    );
+    match json::git_describe() {
+        Some(d) => o.str("git", &d),
+        None => o.raw("git", "null"),
+    };
+    o.raw("apps", json::str_array(suite.apps.iter().map(|a| a.app)));
+    o.u64("runs", runs as u64);
+    o.u64("events_total", t.events_total());
+    o.u64("wall_ns", t.wall_ns);
+    o.u64("setup_ns", t.setup_ns);
+    o.u64("run_ns", t.run_ns);
+    o.u64("breakdown_ns", t.breakdown_ns);
+    match &t.pool {
+        Some(p) => {
+            let mut po = Obj::new();
+            po.u64("workers", p.workers as u64);
+            po.u64("jobs", p.jobs as u64);
+            po.u64("busy_ns", p.busy_ns);
+            po.u64("wall_ns", p.wall_ns);
+            po.u64("idle_ns", p.idle_ns());
+            po.f64("utilization", p.utilization());
+            o.raw("pool", po.finish())
+        }
+        None => o.raw("pool", "null"),
+    };
+    o.raw("counters", counters_obj(&t.counters));
+    let mut out = o.finish();
+    out.push('\n');
+    out
+}
+
+/// Renders the `RUN_telemetry.jsonl` stream: one JSON line per run, in
+/// grid order, carrying that run's own counters and phase timings.
+pub fn telemetry_jsonl(suite: &SuiteResult) -> String {
+    let mut out = String::new();
+    for app in &suite.apps {
+        for r in &app.runs {
+            let mut o = Obj::new();
+            o.str("app", r.app);
+            o.str("configuration", &format!("{:?}", r.configuration));
+            o.u64("completion_time", r.completion_time.0);
+            o.u64("events", r.events);
+            o.u64("setup_ns", r.stats.setup_ns);
+            o.u64("run_ns", r.stats.run_ns);
+            o.u64("breakdown_ns", r.stats.breakdown_ns);
+            o.raw("counters", counters_obj(&r.stats.counters));
+            out.push_str(&o.finish());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Writes the manifest (and, at [`TelemetryLevel::Full`], the JSONL
+/// stream) under `opts.output_dir` or the workspace `results/`. A no-op
+/// returning an empty list at [`TelemetryLevel::Off`]. Returns the paths
+/// written.
+pub fn write(suite: &SuiteResult, opts: &RunOptions) -> io::Result<Vec<PathBuf>> {
+    if opts.telemetry == TelemetryLevel::Off {
+        return Ok(Vec::new());
+    }
+    let dir = opts.output_dir.clone().unwrap_or_else(default_dir);
+    std::fs::create_dir_all(&dir)?;
+    let mut written = Vec::new();
+    let manifest = dir.join("RUN_manifest.json");
+    std::fs::write(&manifest, manifest_json(suite, opts))?;
+    written.push(manifest);
+    if opts.telemetry == TelemetryLevel::Full {
+        let stream = dir.join("RUN_telemetry.jsonl");
+        std::fs::write(&stream, telemetry_jsonl(suite))?;
+        written.push(stream);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_hw::Configuration;
+
+    fn tiny_suite(opts: &RunOptions) -> SuiteResult {
+        let apps = vec![cedar_apps::synthetic::uniform_xdoall(1, 2, 8, 120, 4)];
+        SuiteResult::run_sequential(&apps, &[Configuration::P1, Configuration::P4], opts)
+    }
+
+    #[test]
+    fn manifest_carries_options_and_counters() {
+        let opts = RunOptions::default().with_shrink(4);
+        let suite = tiny_suite(&opts);
+        let m = manifest_json(&suite, &opts);
+        assert!(m.starts_with("{\"schema\":\"cedar-obs/1\""));
+        assert!(m.contains("\"scheduler\":\"calendar\""));
+        assert!(m.contains("\"shrink\":4"));
+        assert!(m.contains("\"events.total\":"));
+        assert!(m.contains("\"queue.scheduled\":"));
+        assert!(m.contains("\"pool\":null"));
+        assert!(m.ends_with("}\n"));
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_run() {
+        let opts = RunOptions::default();
+        let suite = tiny_suite(&opts);
+        let s = telemetry_jsonl(&suite);
+        assert_eq!(s.lines().count(), 2);
+        for line in s.lines() {
+            assert!(line.starts_with("{\"app\":"));
+            assert!(line.contains("\"counters\":{"));
+        }
+    }
+
+    #[test]
+    fn off_level_writes_nothing() {
+        let opts = RunOptions::default().with_telemetry(TelemetryLevel::Off);
+        let suite = tiny_suite(&opts);
+        assert!(write(&suite, &opts).unwrap().is_empty());
+    }
+}

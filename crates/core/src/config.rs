@@ -2,9 +2,14 @@
 
 use cedar_hw::{Configuration, HwConfig};
 use cedar_rtl::RtlConfig;
+use cedar_sim::SchedKind;
 use cedar_xylem::{BackgroundLoad, OsConfig};
 
 /// Everything needed to instantiate one simulated Cedar machine.
+///
+/// The builders are total: every field has both a setter and (where the
+/// field is a toggle) an unsetter, so any configuration is reachable
+/// from [`SimConfig::cedar`] by chaining.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Hardware: configuration, network, cluster parameters.
@@ -20,6 +25,10 @@ pub struct SimConfig {
     pub keep_trace: bool,
     /// Safety valve: abort if the event count exceeds this bound.
     pub max_events: u64,
+    /// Pending-event-set implementation backing the machine's queue.
+    /// Both kinds produce bit-identical runs; see
+    /// [`cedar_sim::EventQueue`].
+    pub sched: SchedKind,
     /// Competing multiprogrammed load (None = the paper's dedicated,
     /// single-user setting).
     pub background: Option<BackgroundLoad>,
@@ -35,24 +44,99 @@ impl SimConfig {
             seed: 0xCEDA_12B5,
             keep_trace: false,
             max_events: 4_000_000_000,
+            sched: SchedKind::default(),
             background: None,
         }
     }
 
     /// Overrides the seed (builder style).
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8).with_seed(42);
+    /// assert_eq!(c.seed, 42);
+    /// ```
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Keeps the cedarhpm trace in the result (builder style).
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8).with_trace();
+    /// assert!(c.keep_trace);
+    /// ```
     pub fn with_trace(mut self) -> Self {
         self.keep_trace = true;
         self
     }
 
+    /// Drops the cedarhpm trace from the result (builder style) — the
+    /// default, provided so [`with_trace`](Self::with_trace) has an
+    /// inverse and configurations can be toggled back.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8)
+    ///     .with_trace()
+    ///     .with_trace_off();
+    /// assert!(!c.keep_trace);
+    /// ```
+    pub fn with_trace_off(mut self) -> Self {
+        self.keep_trace = false;
+        self
+    }
+
+    /// Overrides the runaway-workload event bound (builder style).
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8).with_max_events(10_000);
+    /// assert_eq!(c.max_events, 10_000);
+    /// ```
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Selects the pending-event-set implementation (builder style).
+    /// The scheduler changes wall-clock speed only, never results.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    /// use cedar_sim::SchedKind;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8).with_scheduler(SchedKind::Heap);
+    /// assert_eq!(c.sched, SchedKind::Heap);
+    /// ```
+    pub fn with_scheduler(mut self, sched: SchedKind) -> Self {
+        self.sched = sched;
+        self
+    }
+
     /// Adds a competing multiprogrammed load (builder style) — beyond
     /// the paper, which measured a dedicated system.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    /// use cedar_xylem::BackgroundLoad;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8)
+    ///     .with_background(BackgroundLoad::heavy());
+    /// assert!(c.background.is_some());
+    /// ```
     pub fn with_background(mut self, load: BackgroundLoad) -> Self {
         self.background = Some(load);
         self
@@ -73,14 +157,20 @@ mod tests {
         let c = SimConfig::cedar(Configuration::P16);
         assert_eq!(c.configuration(), Configuration::P16);
         assert_eq!(c.hw.net.modules, 32);
+        assert_eq!(c.sched, SchedKind::Calendar);
     }
 
     #[test]
     fn builder_overrides() {
         let c = SimConfig::cedar(Configuration::P1)
             .with_seed(7)
-            .with_trace();
+            .with_trace()
+            .with_max_events(123)
+            .with_scheduler(SchedKind::Heap);
         assert_eq!(c.seed, 7);
         assert!(c.keep_trace);
+        assert_eq!(c.max_events, 123);
+        assert_eq!(c.sched, SchedKind::Heap);
+        assert!(!c.with_trace_off().keep_trace);
     }
 }

@@ -46,3 +46,32 @@ pub enum Ev {
         cluster: usize,
     },
 }
+
+/// Telemetry counter name of each event class, indexed by
+/// [`Ev::class`]. Dotted `events.*` paths, ready for the run manifest's
+/// counter rollup.
+pub const EV_CLASS_NAMES: [&str; 7] = [
+    "events.gmem",
+    "events.ce_done",
+    "events.ce_resume",
+    "events.cbus_release",
+    "events.daemon",
+    "events.ast",
+    "events.background",
+];
+
+impl Ev {
+    /// Dense class index for per-class event accounting (the index into
+    /// [`EV_CLASS_NAMES`]).
+    pub fn class(&self) -> usize {
+        match self {
+            Ev::Gmem(_) => 0,
+            Ev::CeDone { .. } => 1,
+            Ev::CeResume { .. } => 2,
+            Ev::CbusRelease { .. } => 3,
+            Ev::Daemon { .. } => 4,
+            Ev::Ast { .. } => 5,
+            Ev::Background { .. } => 6,
+        }
+    }
+}

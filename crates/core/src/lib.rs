@@ -19,13 +19,25 @@
 //! ## Quickstart
 //!
 //! ```
-//! use cedar_core::{Experiment, SimConfig};
-//! use cedar_hw::Configuration;
+//! use cedar_core::prelude::*;
 //! use cedar_apps::synthetic;
 //!
 //! let app = synthetic::uniform_sdoall(2, 2, 4, 8, 200, 8);
-//! let result = Experiment::new(app, SimConfig::cedar(Configuration::P8)).run();
+//! let cfg = SimConfig::cedar(Configuration::P8).with_scheduler(SchedKind::Calendar);
+//! let result = Experiment::new(app, cfg).run();
 //! assert!(result.completion_time.0 > 0);
+//! assert!(result.stats.counters.get("events.total") > 0);
+//! ```
+//!
+//! Campaign-level runs take a typed [`RunOptions`] (build one, or parse
+//! the `CEDAR_*` environment once via [`RunOptions::from_env`]):
+//!
+//! ```no_run
+//! use cedar_core::prelude::*;
+//!
+//! let opts = RunOptions::default().with_scheduler(SchedKind::Heap);
+//! let suite = SuiteResult::full_campaign(&opts);
+//! assert_eq!(suite.apps.len(), 5);
 //! ```
 
 pub mod config;
@@ -35,13 +47,15 @@ pub mod machine;
 pub mod methodology;
 pub mod metrics;
 pub mod pool;
+pub mod prelude;
 pub mod program;
 pub mod result;
 pub mod run;
 pub mod suite;
 
+pub use cedar_obs::{RunOptions, TelemetryLevel};
 pub use config::SimConfig;
-pub use pool::PoolError;
+pub use pool::{PoolError, PoolStats};
 pub use result::RunResult;
 pub use run::Experiment;
-pub use suite::{AppResults, SuiteResult};
+pub use suite::{AppResults, SuiteResult, SuiteTelemetry};

@@ -68,6 +68,7 @@ pub struct Machine {
     pub(crate) serial_counter: u64,
     pub(crate) bodies_executed: u64,
     pub(crate) events_processed: u64,
+    pub(crate) ev_class_counts: [u64; crate::events::EV_CLASS_NAMES.len()],
     pub(crate) breakdowns: Vec<cedar_trace::TaskBreakdown>,
 }
 
@@ -136,7 +137,7 @@ impl Machine {
             app_name: app.name,
             layout,
             program,
-            queue: EventQueue::with_capacity(1 << 16),
+            queue: EventQueue::with_kind_capacity(cfg.sched, 1 << 16),
             gmem: GlobalMemorySystem::new(cfg.hw.net.clone()),
             gmem_out: Outbox::new(),
             ces,
@@ -163,6 +164,7 @@ impl Machine {
             serial_counter: 0,
             bodies_executed: 0,
             events_processed: 0,
+            ev_class_counts: [0; crate::events::EV_CLASS_NAMES.len()],
             breakdowns: (0..n_clusters)
                 .map(|_| cedar_trace::TaskBreakdown::new())
                 .collect(),
@@ -355,11 +357,17 @@ impl Machine {
 
     /// Runs the program to completion and returns the measured results.
     ///
+    /// The result carries the run's self-telemetry
+    /// ([`RunResult::stats`]): wall-clock per phase (the event loop vs.
+    /// result assembly; machine construction is timed by the caller via
+    /// [`crate::run::execute`]) and the counter rollup.
+    ///
     /// # Panics
     ///
     /// Panics if the event bound (`SimConfig::max_events`) is exceeded —
     /// a deadlock guard for malformed workloads.
     pub fn run(mut self) -> RunResult {
+        let t_loop = std::time::Instant::now();
         self.startup();
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -370,6 +378,7 @@ impl Machine {
                 "event bound exceeded at {} — likely deadlock or runaway workload",
                 self.now
             );
+            self.ev_class_counts[ev.class()] += 1;
             self.dispatch(ev);
             if self.all_stopped() {
                 break;
@@ -379,7 +388,12 @@ impl Machine {
             self.finished_at.is_some(),
             "event queue drained before the main task finished (deadlock)"
         );
-        self.into_result()
+        let run_ns = t_loop.elapsed().as_nanos() as u64;
+        let t_breakdown = std::time::Instant::now();
+        let mut result = self.into_result();
+        result.stats.run_ns = run_ns;
+        result.stats.breakdown_ns = t_breakdown.elapsed().as_nanos() as u64;
+        result
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -459,6 +473,57 @@ impl Machine {
         }
     }
 
+    /// Folds the machine's self-telemetry counters — per-class event
+    /// totals, queue statistics (with the hold-distance histogram), and
+    /// outbox reuse — into one [`cedar_obs::Counters`] rollup.
+    fn telemetry_counters(&self) -> cedar_obs::Counters {
+        /// Counter name of each hold-histogram bucket, by index.
+        const HOLD_NAMES: [&str; cedar_sim::HOLD_BUCKETS] = [
+            "queue.hold.p2_00",
+            "queue.hold.p2_01",
+            "queue.hold.p2_02",
+            "queue.hold.p2_03",
+            "queue.hold.p2_04",
+            "queue.hold.p2_05",
+            "queue.hold.p2_06",
+            "queue.hold.p2_07",
+            "queue.hold.p2_08",
+            "queue.hold.p2_09",
+            "queue.hold.p2_10",
+            "queue.hold.p2_11",
+            "queue.hold.p2_12",
+            "queue.hold.p2_13",
+            "queue.hold.p2_14",
+            "queue.hold.p2_15",
+        ];
+        let mut c = cedar_obs::Counters::new();
+        c.add("events.total", self.events_processed);
+        for (name, &count) in crate::events::EV_CLASS_NAMES
+            .iter()
+            .zip(&self.ev_class_counts)
+        {
+            c.add(name, count);
+        }
+        let q = self.queue.stats();
+        c.add("queue.scheduled", q.scheduled);
+        c.add("queue.popped", q.popped);
+        c.record_max("queue.pending.peak", q.pending_peak);
+        c.add("queue.overflow_spills", q.overflow_spills);
+        c.record_max("queue.wheel.peak", q.wheel_peak);
+        for (name, &count) in HOLD_NAMES.iter().zip(&q.hold_hist) {
+            if count > 0 {
+                c.add(name, count);
+            }
+        }
+        let o = self.gmem_out.stats();
+        c.add("outbox.emitted", o.emitted);
+        c.add("outbox.flushes", o.flushes);
+        c.add("outbox.grows", o.grows);
+        c.record_max("outbox.buffered.peak", o.peak_buffered);
+        c.add("bodies", self.bodies_executed);
+        c
+    }
+
     /// Assembles the run's measurements.
     fn into_result(mut self) -> RunResult {
         let ct = self.finished_at.expect("run finished");
@@ -474,6 +539,10 @@ impl Machine {
         let concurrency = (0..n)
             .map(|c| self.statfx.cluster_average(ClusterId(c as u8), ct))
             .collect();
+        let stats = cedar_obs::RunStats {
+            counters: self.telemetry_counters(),
+            ..cedar_obs::RunStats::default()
+        };
         RunResult {
             app: self.app_name,
             configuration: self.cfg.configuration(),
@@ -492,6 +561,7 @@ impl Machine {
             } else {
                 None
             },
+            stats,
         }
     }
 

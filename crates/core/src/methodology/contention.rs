@@ -133,6 +133,7 @@ mod tests {
             faults: (0, 0),
             events: 0,
             trace: None,
+            stats: cedar_obs::RunStats::default(),
         }
     }
 

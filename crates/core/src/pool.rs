@@ -30,18 +30,45 @@ impl std::fmt::Display for PoolError {
 impl std::error::Error for PoolError {}
 
 /// The number of workers to use when the caller does not specify one:
-/// the `CEDAR_WORKERS` environment variable if set, otherwise the
-/// machine's available parallelism.
+/// the machine's available parallelism. Configuration by environment
+/// (`CEDAR_WORKERS`) is the business of `cedar_obs::RunOptions::from_env`,
+/// whose `workers` field callers pass down explicitly.
 pub fn default_workers() -> usize {
-    std::env::var("CEDAR_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Self-telemetry of one pool invocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned (after clamping to the job count).
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Summed wall-clock of job bodies across all workers, in
+    /// nanoseconds.
+    pub busy_ns: u64,
+    /// Wall-clock of the whole pool invocation, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl PoolStats {
+    /// Total worker idle time: thread-seconds allocated minus
+    /// thread-seconds spent in job bodies. High idle on a balanced grid
+    /// means the tail jobs serialized the pool.
+    pub fn idle_ns(&self) -> u64 {
+        (self.workers as u64 * self.wall_ns).saturating_sub(self.busy_ns)
+    }
+
+    /// Fraction of allocated thread time spent in job bodies (1.0 =
+    /// perfectly packed).
+    pub fn utilization(&self) -> f64 {
+        if self.workers == 0 || self.wall_ns == 0 {
+            return 1.0;
+        }
+        self.busy_ns as f64 / (self.workers as u64 * self.wall_ns) as f64
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -66,14 +93,27 @@ where
     T: Send,
     F: FnOnce() -> T + Send,
 {
+    run_jobs_timed(workers, jobs).map(|(out, _)| out)
+}
+
+/// [`run_jobs`], additionally reporting the pool's own telemetry
+/// (worker count, busy vs. wall time) so suite runners can roll worker
+/// idle time into the run manifest.
+pub fn run_jobs_timed<T, F>(workers: usize, jobs: Vec<F>) -> Result<(Vec<T>, PoolStats), PoolError>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
     let n = jobs.len();
     if n == 0 {
-        return Ok(Vec::new());
+        return Ok((Vec::new(), PoolStats::default()));
     }
     let workers = workers.clamp(1, n);
     let slots: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
     let outputs: Vec<Mutex<Option<Result<T, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
+    let busy_ns = std::sync::atomic::AtomicU64::new(0);
+    let wall = std::time::Instant::now();
 
     std::thread::scope(|s| {
         for _ in 0..workers {
@@ -87,11 +127,20 @@ where
                     .expect("job slot lock")
                     .take()
                     .expect("each job is taken exactly once");
+                let t = std::time::Instant::now();
                 let out = catch_unwind(AssertUnwindSafe(job)).map_err(panic_message);
+                busy_ns.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 *outputs[i].lock().expect("output slot lock") = Some(out);
             });
         }
     });
+
+    let stats = PoolStats {
+        workers,
+        jobs: n,
+        busy_ns: busy_ns.into_inner(),
+        wall_ns: wall.elapsed().as_nanos() as u64,
+    };
 
     let mut results = Vec::with_capacity(n);
     for (i, slot) in outputs.into_iter().enumerate() {
@@ -101,7 +150,7 @@ where
             None => unreachable!("every job index below the cursor is executed"),
         }
     }
-    Ok(results)
+    Ok((results, stats))
 }
 
 #[cfg(test)]
@@ -173,5 +222,28 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    #[test]
+    fn timed_variant_reports_pool_stats() {
+        let jobs: Vec<_> = (0..6u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i
+                }
+            })
+            .collect();
+        let (out, stats) = run_jobs_timed(3, jobs).unwrap();
+        assert_eq!(out, (0..6).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 3);
+        assert_eq!(stats.jobs, 6);
+        assert!(stats.busy_ns > 0);
+        assert!(stats.wall_ns > 0);
+        assert!(stats.utilization() > 0.0 && stats.utilization() <= 1.0);
+        assert_eq!(
+            stats.idle_ns(),
+            (stats.workers as u64 * stats.wall_ns).saturating_sub(stats.busy_ns)
+        );
     }
 }

@@ -50,6 +50,19 @@ impl Experiment {
     /// Panics if the workload deadlocks or exceeds the event bound (see
     /// [`SimConfig::max_events`]).
     pub fn run(self) -> RunResult {
-        Machine::new(&self.app, self.cfg).run()
+        execute(&self.app, self.cfg)
     }
+}
+
+/// Builds and runs one machine, stamping the setup phase's wall-clock
+/// into the result's telemetry. The single choke point every runner path
+/// (sequential, pooled, benchmarked) goes through, so `RunStats` phase
+/// timings mean the same thing everywhere.
+pub(crate) fn execute(app: &AppSpec, cfg: SimConfig) -> RunResult {
+    let t_setup = std::time::Instant::now();
+    let machine = Machine::new(app, cfg);
+    let setup_ns = t_setup.elapsed().as_nanos() as u64;
+    let mut result = machine.run();
+    result.stats.setup_ns = setup_ns;
+    result
 }

@@ -7,14 +7,20 @@
 //! simulation is an isolated deterministic experiment, so the two paths
 //! produce identical results — the parallel path only changes wall-clock
 //! time, never the measurements.
+//!
+//! Both runners take the campaign's [`RunOptions`] explicitly: the
+//! scheduler kind and worker count come from the options value the
+//! caller built (or parsed once from the environment via
+//! [`RunOptions::from_env`]), never from ambient `std::env` reads.
 
 use cedar_apps::AppSpec;
 use cedar_hw::Configuration;
+use cedar_obs::RunOptions;
 
 use crate::config::SimConfig;
-use crate::machine::Machine;
-use crate::pool::{self, PoolError};
+use crate::pool::{self, PoolError, PoolStats};
 use crate::result::RunResult;
+use crate::run::execute;
 
 /// All configuration runs of one application.
 #[derive(Debug)]
@@ -40,11 +46,55 @@ impl AppResults {
     }
 }
 
+/// Campaign-level self-telemetry: the per-run [`cedar_obs::RunStats`]
+/// merged across the whole grid, plus the grid's own wall-clock and (on
+/// the parallel path) the worker pool's busy/idle accounting.
+#[derive(Debug, Default)]
+pub struct SuiteTelemetry {
+    /// Counter rollup merged across every run (sums, except `*.peak`
+    /// counters which take the maximum).
+    pub counters: cedar_obs::Counters,
+    /// Summed machine-construction wall-clock across runs, nanoseconds.
+    pub setup_ns: u64,
+    /// Summed event-loop wall-clock across runs, nanoseconds.
+    pub run_ns: u64,
+    /// Summed result-breakdown wall-clock across runs, nanoseconds.
+    pub breakdown_ns: u64,
+    /// Wall-clock of the whole grid, nanoseconds.
+    pub wall_ns: u64,
+    /// Pool telemetry, when the grid ran on the worker pool.
+    pub pool: Option<PoolStats>,
+}
+
+impl SuiteTelemetry {
+    fn from_runs(runs: &[RunResult], wall_ns: u64, pool: Option<PoolStats>) -> SuiteTelemetry {
+        let mut t = SuiteTelemetry {
+            wall_ns,
+            pool,
+            ..SuiteTelemetry::default()
+        };
+        for r in runs {
+            t.counters.merge(&r.stats.counters);
+            t.setup_ns += r.stats.setup_ns;
+            t.run_ns += r.stats.run_ns;
+            t.breakdown_ns += r.stats.breakdown_ns;
+        }
+        t
+    }
+
+    /// Total simulator events processed across the grid.
+    pub fn events_total(&self) -> u64 {
+        self.counters.get("events.total")
+    }
+}
+
 /// Results of the whole campaign.
 #[derive(Debug)]
 pub struct SuiteResult {
     /// Per-application results, in suite order.
     pub apps: Vec<AppResults>,
+    /// The campaign's own telemetry rollup.
+    pub telemetry: SuiteTelemetry,
 }
 
 /// The grid's job list: every `(app, configuration)` pair, apps-major,
@@ -58,6 +108,12 @@ fn grid(apps: &[AppSpec], configurations: &[Configuration]) -> Vec<(AppSpec, Con
         }
     }
     jobs
+}
+
+/// The machine configuration one grid cell runs under: the paper's Cedar
+/// at `c` processors, with the campaign-wide knobs from `opts` applied.
+fn cell_config(c: Configuration, opts: &RunOptions) -> SimConfig {
+    SimConfig::cedar(c).with_scheduler(opts.scheduler)
 }
 
 /// Folds a flat grid of runs (in `grid` order) back into per-app groups.
@@ -78,47 +134,66 @@ impl SuiteResult {
     /// Runs `apps` on every configuration in `configurations`, one
     /// experiment at a time on the calling thread. This is the reference
     /// path the parallel runner is checked against.
-    pub fn run_sequential(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
-        let runs = grid(apps, configurations)
+    pub fn run_sequential(
+        apps: &[AppSpec],
+        configurations: &[Configuration],
+        opts: &RunOptions,
+    ) -> SuiteResult {
+        let wall = std::time::Instant::now();
+        let runs: Vec<_> = grid(apps, configurations)
             .into_iter()
-            .map(|(app, c)| Machine::new(&app, SimConfig::cedar(c)).run())
+            .map(|(app, c)| execute(&app, cell_config(c, opts)))
             .collect();
+        let telemetry = SuiteTelemetry::from_runs(&runs, wall.elapsed().as_nanos() as u64, None);
         SuiteResult {
             apps: regroup(apps, configurations.len(), runs),
+            telemetry,
         }
     }
 
-    /// Runs the same grid fanned out over `workers` pool threads
-    /// (`None` → [`pool::default_workers`]). Results come back in the
-    /// same deterministic order as [`SuiteResult::run_sequential`]; a
-    /// panicking experiment surfaces as `Err` instead of aborting the
-    /// process or hanging the pool.
+    /// Runs the same grid fanned out over the worker pool
+    /// (`opts.workers`; `None` → [`pool::default_workers`]). Results
+    /// come back in the same deterministic order as
+    /// [`SuiteResult::run_sequential`]; a panicking experiment surfaces
+    /// as `Err` instead of aborting the process or hanging the pool.
     pub fn run_parallel(
         apps: &[AppSpec],
         configurations: &[Configuration],
-        workers: Option<usize>,
+        opts: &RunOptions,
     ) -> Result<SuiteResult, PoolError> {
+        let wall = std::time::Instant::now();
         let jobs: Vec<_> = grid(apps, configurations)
             .into_iter()
-            .map(|(app, c)| move || Machine::new(&app, SimConfig::cedar(c)).run())
+            .map(|(app, c)| {
+                let cfg = cell_config(c, opts);
+                move || execute(&app, cfg)
+            })
             .collect();
-        let runs = pool::run_jobs(workers.unwrap_or_else(pool::default_workers), jobs)?;
+        let workers = opts.workers.unwrap_or_else(pool::default_workers);
+        let (runs, pool_stats) = pool::run_jobs_timed(workers, jobs)?;
+        let telemetry =
+            SuiteTelemetry::from_runs(&runs, wall.elapsed().as_nanos() as u64, Some(pool_stats));
         Ok(SuiteResult {
             apps: regroup(apps, configurations.len(), runs),
+            telemetry,
         })
     }
 
     /// Runs `apps` on every configuration in `configurations` across the
-    /// default worker pool, panicking if an experiment panics. The
+    /// worker pool under `opts`, panicking if an experiment panics. The
     /// convenience entry point for tools and tests.
-    pub fn measure(apps: &[AppSpec], configurations: &[Configuration]) -> SuiteResult {
-        SuiteResult::run_parallel(apps, configurations, None).expect("experiment panicked")
+    pub fn measure(
+        apps: &[AppSpec],
+        configurations: &[Configuration],
+        opts: &RunOptions,
+    ) -> SuiteResult {
+        SuiteResult::run_parallel(apps, configurations, opts).expect("experiment panicked")
     }
 
-    /// Runs the full campaign: the five Perfect applications on all five
-    /// configurations.
-    pub fn full_campaign() -> SuiteResult {
-        SuiteResult::measure(&cedar_apps::perfect_suite(), &Configuration::ALL)
+    /// Runs the full campaign under `opts`: the five Perfect
+    /// applications on all five configurations.
+    pub fn full_campaign(opts: &RunOptions) -> SuiteResult {
+        SuiteResult::measure(&cedar_apps::perfect_suite(), &Configuration::ALL, opts)
     }
 
     /// Looks up one application's results by name.

@@ -1,0 +1,193 @@
+//! A minimal ordered-JSON writer, the manifest fingerprint hash, and the
+//! `git describe` helper.
+//!
+//! The workspace is zero-dependency by design, so the manifest and
+//! telemetry streams are rendered with this hand-rolled writer rather
+//! than serde. Objects emit fields in insertion order, which the
+//! manifest uses to keep its layout stable across runs (and therefore
+//! diffable).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// An insertion-ordered JSON object under construction.
+///
+/// # Example
+///
+/// ```
+/// use cedar_obs::json::Obj;
+///
+/// let mut o = Obj::new();
+/// o.str("name", "cedar");
+/// o.u64("events", 42);
+/// o.raw("nested", Obj::new().finish());
+/// assert_eq!(o.finish(), r#"{"name":"cedar","events":42,"nested":{}}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Obj::default()
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&escape(name));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, name: &str, value: &str) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(&escape(value));
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(&mut self, name: &str, value: u64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field with one decimal.
+    pub fn f64(&mut self, name: &str, value: f64) -> &mut Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value:.1}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, name: &str, value: bool) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an integer-or-null field.
+    pub fn opt_u64(&mut self, name: &str, value: Option<u64>) -> &mut Self {
+        self.key(name);
+        match value {
+            Some(v) => {
+                let _ = write!(self.buf, "{v}");
+            }
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds a pre-rendered JSON value verbatim (nested object/array).
+    pub fn raw(&mut self, name: &str, value: impl AsRef<str>) -> &mut Self {
+        self.key(name);
+        self.buf.push_str(value.as_ref());
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&mut self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Renders an array of pre-rendered JSON values.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let body: Vec<String> = items.into_iter().collect();
+    format!("[{}]", body.join(","))
+}
+
+/// Renders an array of strings.
+pub fn str_array<'a, I: IntoIterator<Item = &'a str>>(items: I) -> String {
+    array(items.into_iter().map(escape))
+}
+
+/// FNV-1a 64-bit hash — the manifest's configuration fingerprint. Stable
+/// across platforms and runs: the same bytes always fingerprint the
+/// same.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `git describe --always --dirty` of the working tree, when a git
+/// binary and repository are reachable; `None` otherwise (the manifest
+/// then records `null`). Best-effort by design — offline and
+/// exported-tarball builds must not fail over provenance.
+pub fn git_describe() -> Option<String> {
+    let out = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim();
+    (!s.is_empty()).then(|| s.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn object_fields_keep_insertion_order() {
+        let mut o = Obj::new();
+        o.str("z", "last-added-first");
+        o.u64("a", 1);
+        o.bool("ok", true);
+        o.opt_u64("w", None);
+        assert_eq!(
+            o.finish(),
+            r#"{"z":"last-added-first","a":1,"ok":true,"w":null}"#
+        );
+    }
+
+    #[test]
+    fn arrays_render() {
+        assert_eq!(str_array(["a", "b"]), r#"["a","b"]"#);
+        assert_eq!(array(Vec::new()), "[]");
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_discriminating() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"sched=heap"), fnv1a(b"sched=calendar"));
+        assert_eq!(fnv1a(b"x"), fnv1a(b"x"));
+    }
+}

@@ -1,0 +1,282 @@
+//! The typed run-configuration API.
+//!
+//! Every knob that used to be a scattered `std::env::var` read —
+//! `CEDAR_SCHED`, `CEDAR_WORKERS`, `CEDAR_SHRINK`, `BENCH_SMOKE`,
+//! `BENCH_ITERS`, `BENCH_WARMUP`, `BENCH_JSON_DIR`, plus the new
+//! `CEDAR_OBS` telemetry level — now lives in one [`RunOptions`] value.
+//! Library code takes `&RunOptions` explicitly; the environment is
+//! consulted exactly once, by [`RunOptions::from_env`], at process
+//! startup (tools and the bench harness do this; tests construct
+//! options programmatically).
+
+use std::path::PathBuf;
+
+use cedar_sim::SchedKind;
+
+/// How much self-telemetry a run emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryLevel {
+    /// Collect nothing beyond the always-on cheap counters; write no
+    /// telemetry files.
+    Off,
+    /// Write the run manifest (`RUN_manifest.json`) with the span and
+    /// counter rollup. The default.
+    #[default]
+    Summary,
+    /// Additionally stream one JSONL record per experiment
+    /// (`RUN_telemetry.jsonl`) for offline analysis.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Canonical lower-case name, as accepted by `CEDAR_OBS`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Summary => "summary",
+            TelemetryLevel::Full => "full",
+        }
+    }
+}
+
+impl std::str::FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "0" => Ok(TelemetryLevel::Off),
+            "summary" | "1" | "" => Ok(TelemetryLevel::Summary),
+            "full" | "2" => Ok(TelemetryLevel::Full),
+            other => Err(format!(
+                "telemetry level must be off|summary|full, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// One run's complete tool-level configuration.
+///
+/// `SimConfig` still owns the *simulated machine* (hardware, OS and RTL
+/// cost models, seed); `RunOptions` owns how the *host process* executes
+/// the campaign: which event scheduler backs the queue, how many worker
+/// threads fan the grid, whether workloads are shrunk, how benchmarks
+/// iterate, how much telemetry to emit, and where output files land.
+///
+/// # Example
+///
+/// ```
+/// use cedar_obs::{RunOptions, TelemetryLevel};
+/// use cedar_sim::SchedKind;
+///
+/// let opts = RunOptions::default()
+///     .with_scheduler(SchedKind::Heap)
+///     .with_workers(4)
+///     .with_shrink(16)
+///     .with_telemetry(TelemetryLevel::Full);
+/// assert_eq!(opts.scheduler, SchedKind::Heap);
+/// assert_eq!(opts.workers, Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Pending-event-set implementation for every experiment.
+    pub scheduler: SchedKind,
+    /// Worker-pool width for suite grids (`None` = available
+    /// parallelism).
+    pub workers: Option<usize>,
+    /// Workload shrink divisor (1 = publication scale).
+    pub shrink: u32,
+    /// Benchmark smoke mode: one iteration, no warmup.
+    pub smoke: bool,
+    /// Benchmark timed-iteration override (`None` = harness default).
+    pub bench_iters: Option<u32>,
+    /// Benchmark warmup-iteration override (`None` = harness default).
+    pub bench_warmup: Option<u32>,
+    /// Self-telemetry level.
+    pub telemetry: TelemetryLevel,
+    /// Output directory for manifests, bench JSON and telemetry streams
+    /// (`None` = the workspace-root `results/`).
+    pub output_dir: Option<PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scheduler: SchedKind::default(),
+            workers: None,
+            shrink: 1,
+            smoke: false,
+            bench_iters: None,
+            bench_warmup: None,
+            telemetry: TelemetryLevel::default(),
+            output_dir: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Reads the whole configuration from the environment. This is the
+    /// single sanctioned configuration env-read in the workspace (the
+    /// golden-update hook `UPDATE_GOLDEN` is the other).
+    ///
+    /// | variable        | field         | accepted values              |
+    /// |-----------------|---------------|------------------------------|
+    /// | `CEDAR_SCHED`   | `scheduler`   | `heap`, `calendar` (default) |
+    /// | `CEDAR_WORKERS` | `workers`     | integer ≥ 1                  |
+    /// | `CEDAR_SHRINK`  | `shrink`      | integer ≥ 1                  |
+    /// | `CEDAR_OBS`     | `telemetry`   | `off`, `summary`, `full`     |
+    /// | `BENCH_SMOKE`   | `smoke`       | `1`                          |
+    /// | `BENCH_ITERS`   | `bench_iters` | integer ≥ 1                  |
+    /// | `BENCH_WARMUP`  | `bench_warmup`| integer ≥ 0                  |
+    /// | `BENCH_JSON_DIR`| `output_dir`  | a directory path             |
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed `CEDAR_SCHED` or `CEDAR_OBS`, so a typo
+    /// fails loudly instead of silently running the wrong configuration.
+    pub fn from_env() -> RunOptions {
+        let var = |name: &str| std::env::var(name).ok().filter(|v| !v.is_empty());
+        RunOptions {
+            scheduler: var("CEDAR_SCHED")
+                .map(|v| v.parse().unwrap_or_else(|e| panic!("CEDAR_SCHED: {e}")))
+                .unwrap_or_default(),
+            workers: var("CEDAR_WORKERS")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n >= 1),
+            shrink: var("CEDAR_SHRINK")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &u32| n >= 1)
+                .unwrap_or(1),
+            smoke: var("BENCH_SMOKE").map(|v| v == "1").unwrap_or(false),
+            bench_iters: var("BENCH_ITERS").and_then(|v| v.parse().ok()),
+            bench_warmup: var("BENCH_WARMUP").and_then(|v| v.parse().ok()),
+            telemetry: var("CEDAR_OBS")
+                .map(|v| v.parse().unwrap_or_else(|e| panic!("CEDAR_OBS: {e}")))
+                .unwrap_or_default(),
+            output_dir: var("BENCH_JSON_DIR").map(PathBuf::from),
+        }
+    }
+
+    /// Overrides the event scheduler (builder style).
+    pub fn with_scheduler(mut self, kind: SchedKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// Bounds the suite worker pool (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the workload shrink divisor (builder style).
+    pub fn with_shrink(mut self, shrink: u32) -> Self {
+        self.shrink = shrink.max(1);
+        self
+    }
+
+    /// Enables benchmark smoke mode (builder style).
+    pub fn with_smoke(mut self) -> Self {
+        self.smoke = true;
+        self
+    }
+
+    /// Overrides benchmark timed iterations (builder style).
+    pub fn with_bench_iters(mut self, iters: u32) -> Self {
+        self.bench_iters = Some(iters.max(1));
+        self
+    }
+
+    /// Overrides benchmark warmup iterations (builder style).
+    pub fn with_bench_warmup(mut self, warmup: u32) -> Self {
+        self.bench_warmup = Some(warmup);
+        self
+    }
+
+    /// Sets the telemetry level (builder style).
+    pub fn with_telemetry(mut self, level: TelemetryLevel) -> Self {
+        self.telemetry = level;
+        self
+    }
+
+    /// Redirects output files (builder style).
+    pub fn with_output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// The stable fingerprint seed: every field that changes *what is
+    /// simulated or how results are produced*, in a fixed textual form.
+    /// Wall-clock-only knobs (worker count, bench iterations, output
+    /// directory, telemetry level) are deliberately excluded — two runs
+    /// differing only in those produce identical measurements, and their
+    /// manifests carry the same fingerprint.
+    pub fn fingerprint_seed(&self) -> String {
+        format!(
+            "sched={};shrink={};smoke={}",
+            self.scheduler.as_str(),
+            self.shrink,
+            self.smoke
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_old_env_defaults() {
+        let o = RunOptions::default();
+        assert_eq!(o.scheduler, SchedKind::Calendar);
+        assert_eq!(o.workers, None);
+        assert_eq!(o.shrink, 1);
+        assert!(!o.smoke);
+        assert_eq!(o.telemetry, TelemetryLevel::Summary);
+        assert_eq!(o.output_dir, None);
+    }
+
+    #[test]
+    fn builders_are_total() {
+        let o = RunOptions::default()
+            .with_scheduler(SchedKind::Heap)
+            .with_workers(3)
+            .with_shrink(0) // clamped to 1
+            .with_smoke()
+            .with_bench_iters(0) // clamped to 1
+            .with_bench_warmup(2)
+            .with_telemetry(TelemetryLevel::Off)
+            .with_output_dir("/tmp/x");
+        assert_eq!(o.scheduler, SchedKind::Heap);
+        assert_eq!(o.workers, Some(3));
+        assert_eq!(o.shrink, 1);
+        assert!(o.smoke);
+        assert_eq!(o.bench_iters, Some(1));
+        assert_eq!(o.bench_warmup, Some(2));
+        assert_eq!(o.telemetry, TelemetryLevel::Off);
+        assert_eq!(o.output_dir, Some(PathBuf::from("/tmp/x")));
+    }
+
+    #[test]
+    fn telemetry_levels_parse_and_roundtrip() {
+        for level in [
+            TelemetryLevel::Off,
+            TelemetryLevel::Summary,
+            TelemetryLevel::Full,
+        ] {
+            assert_eq!(level.as_str().parse::<TelemetryLevel>().unwrap(), level);
+        }
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_wall_clock_only_knobs() {
+        let a = RunOptions::default();
+        let b = RunOptions::default()
+            .with_workers(64)
+            .with_telemetry(TelemetryLevel::Full)
+            .with_output_dir("/elsewhere");
+        assert_eq!(a.fingerprint_seed(), b.fingerprint_seed());
+        let c = RunOptions::default().with_scheduler(SchedKind::Heap);
+        assert_ne!(a.fingerprint_seed(), c.fingerprint_seed());
+    }
+}

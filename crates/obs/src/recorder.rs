@@ -1,0 +1,303 @@
+//! Spans, counters and per-run rollups.
+//!
+//! The conventions are deliberately simple so every layer of the
+//! workspace can feed the same rollup:
+//!
+//! * counter names are dotted paths (`"queue.scheduled"`,
+//!   `"events.gmem"`), and
+//! * names ending in `.peak` are high-water marks — merging two rollups
+//!   takes their maximum instead of their sum.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Named monotonic counters with deterministic (sorted) iteration order.
+///
+/// # Example
+///
+/// ```
+/// use cedar_obs::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("queue.scheduled", 10);
+/// c.add("queue.scheduled", 5);
+/// c.record_max("queue.pending.peak", 7);
+/// c.record_max("queue.pending.peak", 3);
+/// assert_eq!(c.get("queue.scheduled"), 15);
+/// assert_eq!(c.get("queue.pending.peak"), 7);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `n` to the counter `name` (creating it at zero).
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.map.entry(name).or_insert(0) += n;
+    }
+
+    /// Raises the high-water mark `name` to at least `v`. By convention
+    /// such names end in `.peak` so [`merge`](Self::merge) combines them
+    /// with `max` rather than `+`.
+    pub fn record_max(&mut self, name: &'static str, v: u64) {
+        let slot = self.map.entry(name).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+
+    /// The current value of `name` (zero when never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds `other` into `self`: sums ordinary counters, maxes the
+    /// `.peak` high-water marks.
+    pub fn merge(&mut self, other: &Counters) {
+        for (&name, &v) in &other.map {
+            if name.ends_with(".peak") {
+                self.record_max(name, v);
+            } else {
+                self.add(name, v);
+            }
+        }
+    }
+
+    /// Iterates `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Accumulated wall-clock of one named span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Total wall-clock across those pairs, in nanoseconds.
+    pub total_ns: u64,
+}
+
+/// An open span returned by [`Recorder::enter`]; close it with
+/// [`Recorder::exit`]. A token from a disabled recorder carries no
+/// timestamp, so the clock is never read.
+#[must_use = "close the span with Recorder::exit"]
+#[derive(Debug)]
+pub struct SpanToken {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// The span/counter facility.
+///
+/// # Example
+///
+/// ```
+/// use cedar_obs::Recorder;
+///
+/// let mut rec = Recorder::enabled();
+/// let span = rec.enter("campaign");
+/// rec.count("suites", 1);
+/// rec.exit(span);
+/// assert_eq!(rec.span("campaign").count, 1);
+///
+/// // A disabled recorder records nothing and never reads the clock.
+/// let mut off = Recorder::disabled();
+/// let span = off.enter("campaign");
+/// off.exit(span);
+/// assert_eq!(off.span("campaign").count, 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    enabled: bool,
+    counters: Counters,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Recorder {
+    /// Creates a recorder; `enabled = false` makes every call a no-op.
+    pub fn new(enabled: bool) -> Self {
+        Recorder {
+            enabled,
+            ..Recorder::default()
+        }
+    }
+
+    /// A recording recorder.
+    pub fn enabled() -> Self {
+        Recorder::new(true)
+    }
+
+    /// A no-op recorder.
+    pub fn disabled() -> Self {
+        Recorder::new(false)
+    }
+
+    /// `true` when this recorder records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        if self.enabled {
+            self.counters.add(name, n);
+        }
+    }
+
+    /// Raises high-water mark `name` to at least `v`.
+    pub fn record_max(&mut self, name: &'static str, v: u64) {
+        if self.enabled {
+            self.counters.record_max(name, v);
+        }
+    }
+
+    /// Opens a span. Reads the clock only when enabled.
+    pub fn enter(&self, name: &'static str) -> SpanToken {
+        SpanToken {
+            name,
+            start: self.enabled.then(Instant::now),
+        }
+    }
+
+    /// Closes a span opened by [`enter`](Self::enter), charging its
+    /// elapsed wall-clock to the span's name.
+    pub fn exit(&mut self, token: SpanToken) {
+        if let Some(start) = token.start {
+            let stat = self.spans.entry(token.name).or_default();
+            stat.count += 1;
+            stat.total_ns += start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Times `f` as one enter/exit pair of span `name`.
+    pub fn time<T>(&mut self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let token = self.enter(name);
+        let out = f();
+        self.exit(token);
+        out
+    }
+
+    /// The accumulated statistics of span `name` (zeros when never
+    /// closed).
+    pub fn span(&self, name: &str) -> SpanStat {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// Iterates `(name, stat)` over all closed spans, in name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&'static str, SpanStat)> + '_ {
+        self.spans.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// The recorder's counter set.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
+
+/// Per-run self-telemetry: where one experiment's wall-clock went, plus
+/// the run's counter rollup (event classes, queue statistics, outbox
+/// reuse). Attached to every `RunResult`; collection is cheap enough to
+/// be always-on — the counters are plain integer fields in the hot
+/// structures, snapshotted once at end of run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Wall-clock nanoseconds building the machine (`Machine::new`).
+    pub setup_ns: u64,
+    /// Wall-clock nanoseconds in the event loop.
+    pub run_ns: u64,
+    /// Wall-clock nanoseconds assembling breakdowns and results.
+    pub breakdown_ns: u64,
+    /// The run's counter rollup. Deterministic for a fixed configuration
+    /// — no wall-clock quantities live here.
+    pub counters: Counters,
+}
+
+impl RunStats {
+    /// Total instrumented wall-clock of the run.
+    pub fn total_ns(&self) -> u64 {
+        self.setup_ns + self.run_ns + self.breakdown_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_and_peak() {
+        let mut a = Counters::new();
+        a.add("x", 2);
+        a.record_max("p.peak", 10);
+        let mut b = Counters::new();
+        b.add("x", 3);
+        b.record_max("p.peak", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("p.peak"), 10, "peaks merge by max, not sum");
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut c = Counters::new();
+        c.add("zz", 1);
+        c.add("aa", 1);
+        c.add("mm", 1);
+        let names: Vec<_> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_a_no_op() {
+        let mut r = Recorder::disabled();
+        r.count("c", 5);
+        r.record_max("c.peak", 5);
+        let t = r.enter("s");
+        assert!(
+            format!("{t:?}").contains("None"),
+            "disabled enter must not read the clock"
+        );
+        r.exit(t);
+        assert!(r.counters().is_empty());
+        assert_eq!(r.span("s"), SpanStat::default());
+    }
+
+    #[test]
+    fn spans_accumulate() {
+        let mut r = Recorder::enabled();
+        for _ in 0..3 {
+            let t = r.enter("loop");
+            r.exit(t);
+        }
+        let s = r.span("loop");
+        assert_eq!(s.count, 3);
+        let v = r.time("timed", || 42);
+        assert_eq!(v, 42);
+        assert_eq!(r.span("timed").count, 1);
+    }
+
+    #[test]
+    fn run_stats_total() {
+        let s = RunStats {
+            setup_ns: 1,
+            run_ns: 2,
+            breakdown_ns: 3,
+            counters: Counters::new(),
+        };
+        assert_eq!(s.total_ns(), 6);
+    }
+}

@@ -110,7 +110,11 @@ mod tests {
     fn mini_suite() -> SuiteResult {
         let mut a = synthetic::uniform_xdoall(1, 1, 16, 300, 4);
         a.name = "T";
-        SuiteResult::measure(&[a], &[Configuration::P1, Configuration::P8])
+        SuiteResult::measure(
+            &[a],
+            &[Configuration::P1, Configuration::P8],
+            &cedar_core::RunOptions::default(),
+        )
     }
 
     #[test]

@@ -129,7 +129,11 @@ mod tests {
     fn mini_suite() -> SuiteResult {
         let mut a = synthetic::uniform_sdoall(1, 1, 8, 8, 300, 4);
         a.name = "FLO52";
-        SuiteResult::measure(&[a], &[Configuration::P1, Configuration::P16])
+        SuiteResult::measure(
+            &[a],
+            &[Configuration::P1, Configuration::P16],
+            &cedar_core::RunOptions::default(),
+        )
     }
 
     #[test]

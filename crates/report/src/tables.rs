@@ -178,7 +178,11 @@ mod tests {
         b.name = "ARC2D";
         let mut c = synthetic::uniform_sdoall(1, 1, 8, 16, 300, 0);
         c.name = "MDG";
-        SuiteResult::measure(&[a, b, c], &Configuration::ALL)
+        SuiteResult::measure(
+            &[a, b, c],
+            &Configuration::ALL,
+            &cedar_core::RunOptions::default(),
+        )
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use std::collections::BinaryHeap;
 
-use crate::queue::{EventSchedule, Pending};
+use crate::queue::{EventSchedule, Pending, QueueStats};
 use crate::time::SimTime;
 
 /// Default log2 of the day width: one-cycle days. A bucket then only
@@ -138,7 +138,8 @@ pub struct CalendarSchedule<E> {
     /// advances.
     overflow: BinaryHeap<Pending<E>>,
     next_seq: u64,
-    scheduled_total: u64,
+    stats: QueueStats,
+    last_popped: SimTime,
 }
 
 impl<E> CalendarSchedule<E> {
@@ -171,7 +172,8 @@ impl<E> CalendarSchedule<E> {
             wheel_len: 0,
             overflow: BinaryHeap::new(),
             next_seq: 0,
-            scheduled_total: 0,
+            stats: QueueStats::new(),
+            last_popped: SimTime::ZERO,
         }
     }
 
@@ -209,6 +211,7 @@ impl<E> CalendarSchedule<E> {
             let idx = (day & self.day_mask) as usize;
             self.buckets[idx].push(p.at, p.seq, p.payload);
             self.wheel_len += 1;
+            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_len as u64);
         }
     }
 
@@ -222,10 +225,10 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
         let day = self.day_of(at);
         if !self.fits_wheel(day) {
             self.overflow.push(Pending { at, seq, payload });
+            self.stats.overflow_spills += 1;
         } else {
             let day = day.max(self.cur_day);
             let idx = (day & self.day_mask) as usize;
@@ -235,7 +238,12 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
                 self.buckets[idx].push(at, seq, payload);
             }
             self.wheel_len += 1;
+            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_len as u64);
         }
+        self.stats.on_schedule(
+            at.0.saturating_sub(self.last_popped.0),
+            self.wheel_len + self.overflow.len(),
+        );
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -259,6 +267,8 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
             bucket.ensure_sorted();
             let (at, _seq, payload) = bucket.items.pop().expect("checked non-empty");
             self.wheel_len -= 1;
+            self.stats.popped += 1;
+            self.last_popped = at;
             return Some((at, payload));
         }
     }
@@ -289,7 +299,11 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
     }
 
     fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.stats.scheduled
+    }
+
+    fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -463,6 +477,26 @@ mod tests {
             }
         }
         assert_equivalent_drain(&mut heap, &mut cal, "len/peek property");
+    }
+
+    #[test]
+    fn stats_count_spills_and_wheel_peak() {
+        let mut q: CalendarSchedule<u32> = CalendarSchedule::with_geometry(4, 4);
+        q.schedule(Cycles(1), 0); // wheel
+        q.schedule(Cycles(2), 1); // wheel
+        q.schedule(Cycles(10_000), 2); // beyond the 16-cycle horizon
+        let s = EventSchedule::stats(&q);
+        assert_eq!(s.scheduled, 3);
+        assert_eq!(s.overflow_spills, 1);
+        assert_eq!(s.wheel_peak, 2);
+        assert_eq!(s.pending_peak, 3);
+        while q.pop().is_some() {}
+        let s = EventSchedule::stats(&q);
+        assert_eq!(s.popped, 3);
+        assert_eq!(
+            s.wheel_peak, 2,
+            "refill of a lone event does not raise the peak"
+        );
     }
 
     #[test]

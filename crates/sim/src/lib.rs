@@ -16,22 +16,36 @@
 //!
 //! * [`EventQueue`] breaks timestamp ties by insertion sequence number, so
 //!   simultaneous events fire in the order they were scheduled. Both
-//!   backing schedulers (`CEDAR_SCHED=heap|calendar`) honour the exact
-//!   same order, so the selection affects wall-clock speed only.
+//!   backing schedulers (selected by an explicit [`SchedKind`]) honour
+//!   the exact same order, so the selection affects wall-clock speed
+//!   only.
 //! * [`SplitMix64`] is a fixed-seed PRNG; no ambient entropy is consulted.
+//!
+//! This crate never reads environment variables — scheduler selection by
+//! `CEDAR_SCHED` happens in `cedar_obs::RunOptions::from_env`, which
+//! passes a typed [`SchedKind`] down here. The queues and [`Outbox`]
+//! keep cheap always-on self-telemetry counters ([`QueueStats`],
+//! [`OutboxStats`]) that the observability layer rolls into the run
+//! manifest.
 //!
 //! ## Example
 //!
 //! ```
-//! use cedar_sim::{Cycles, EventQueue};
+//! use cedar_sim::{Cycles, EventQueue, SchedKind};
 //!
-//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! let mut q: EventQueue<&'static str> = EventQueue::new(); // calendar default
 //! q.schedule(Cycles(5), "later");
 //! q.schedule(Cycles(1), "first");
 //! q.schedule(Cycles(5), "tie-broken-second");
 //! assert_eq!(q.pop(), Some((Cycles(1), "first")));
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("later"));
 //! assert_eq!(q.pop().map(|(_, e)| e), Some("tie-broken-second"));
+//!
+//! // The heap backend pops the same order, and both count traffic:
+//! let mut h: EventQueue<u8> = EventQueue::with_kind(SchedKind::Heap);
+//! h.schedule(Cycles(3), 1);
+//! assert_eq!(h.pop(), Some((Cycles(3), 1)));
+//! assert_eq!(h.stats().popped, 1);
 //! ```
 
 pub mod calendar;
@@ -42,7 +56,7 @@ pub mod stats;
 pub mod time;
 
 pub use calendar::CalendarSchedule;
-pub use outbox::Outbox;
-pub use queue::{EventQueue, EventSchedule, HeapSchedule, SchedKind};
+pub use outbox::{Outbox, OutboxStats};
+pub use queue::{EventQueue, EventSchedule, HeapSchedule, QueueStats, SchedKind, HOLD_BUCKETS};
 pub use rng::SplitMix64;
 pub use time::{Cycles, HpmTicks, SimTime, CYCLE_NS, HPM_TICKS_PER_CYCLE, HPM_TICK_NS};

@@ -29,17 +29,55 @@ use crate::time::{Cycles, SimTime};
 #[derive(Debug)]
 pub struct Outbox<E> {
     items: Vec<(Cycles, E)>,
+    stats: OutboxStats,
+}
+
+/// Self-telemetry of one outbox: how hard the slab-reuse pattern works.
+/// `grows` counts buffer reallocations; a long-lived outbox that has
+/// reached its steady-state capacity emits and flushes millions of
+/// events with `grows` frozen — the reuse rate
+/// [`OutboxStats::reuse_rate`] is then ~1.0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutboxStats {
+    /// Events ever emitted into this outbox.
+    pub emitted: u64,
+    /// Drain/flush calls (each reuses the buffer allocation).
+    pub flushes: u64,
+    /// Buffer reallocations (capacity growth events).
+    pub grows: u64,
+    /// Peak number of events buffered at once.
+    pub peak_buffered: u64,
+}
+
+impl OutboxStats {
+    /// Fraction of emits that reused existing capacity (1.0 = perfect
+    /// slab behaviour; 0 emits count as perfect).
+    pub fn reuse_rate(&self) -> f64 {
+        if self.emitted == 0 {
+            1.0
+        } else {
+            1.0 - self.grows as f64 / self.emitted as f64
+        }
+    }
 }
 
 impl<E> Outbox<E> {
     /// Creates an empty outbox.
     pub fn new() -> Self {
-        Outbox { items: Vec::new() }
+        Outbox {
+            items: Vec::new(),
+            stats: OutboxStats::default(),
+        }
     }
 
     /// Emits `event` to fire `delay` cycles after the current time.
     pub fn emit(&mut self, delay: Cycles, event: E) {
+        if self.items.len() == self.items.capacity() {
+            self.stats.grows += 1;
+        }
         self.items.push((delay, event));
+        self.stats.emitted += 1;
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.items.len() as u64);
     }
 
     /// Emits `event` to fire at the current time (zero delay).
@@ -49,12 +87,14 @@ impl<E> Outbox<E> {
 
     /// Drains all buffered `(delay, event)` pairs in emission order.
     pub fn drain(&mut self) -> impl Iterator<Item = (Cycles, E)> + '_ {
+        self.stats.flushes += 1;
         self.items.drain(..)
     }
 
     /// Drains into an absolute-time event schedule, anchoring delays at
     /// `now`.
     pub fn flush_into<Q: crate::EventSchedule<E>>(&mut self, now: SimTime, queue: &mut Q) {
+        self.stats.flushes += 1;
         for (delay, ev) in self.items.drain(..) {
             queue.schedule(now + delay, ev);
         }
@@ -72,9 +112,15 @@ impl<E> Outbox<E> {
         Q: crate::EventSchedule<E2>,
         F: FnMut(E) -> E2,
     {
+        self.stats.flushes += 1;
         for (delay, ev) in self.items.drain(..) {
             queue.schedule(now + delay, wrap(ev));
         }
+    }
+
+    /// Snapshot of the outbox's self-telemetry counters.
+    pub fn stats(&self) -> OutboxStats {
+        self.stats
     }
 
     /// Number of buffered events.
@@ -128,5 +174,24 @@ mod tests {
         out.emit_now(1);
         out.emit_now(2);
         assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_reuse() {
+        let mut out: Outbox<u8> = Outbox::new();
+        let mut q = EventQueue::new();
+        // First fill grows the buffer; subsequent fills reuse it.
+        for round in 0..10 {
+            out.emit_now(round);
+            out.emit_now(round);
+            out.flush_into(Cycles(round as u64), &mut q);
+        }
+        let s = out.stats();
+        assert_eq!(s.emitted, 20);
+        assert_eq!(s.flushes, 10);
+        assert_eq!(s.peak_buffered, 2);
+        assert!(s.grows <= 2, "steady state must stop reallocating");
+        assert!(s.reuse_rate() >= 0.9, "reuse rate {}", s.reuse_rate());
+        assert_eq!(OutboxStats::default().reuse_rate(), 1.0);
     }
 }

@@ -12,9 +12,15 @@
 //! Both pop events in exactly the same order — ascending fire time, ties
 //! broken by scheduling sequence — so whole-run results are bit-identical
 //! whichever is selected. [`EventQueue`] wraps the two behind a single
-//! type and picks the implementation from the `CEDAR_SCHED` environment
-//! variable (`calendar` is the default; set `CEDAR_SCHED=heap` for A/B
-//! verification).
+//! type; the implementation is an explicit [`SchedKind`] parameter
+//! (`calendar` is the default). Selection by environment variable is the
+//! business of `cedar_obs::RunOptions::from_env`, not this crate.
+//!
+//! Every implementation keeps cheap always-on self-telemetry counters
+//! (events scheduled and popped, peak pending population, and a
+//! power-of-two histogram of scheduling distances) surfaced through
+//! [`QueueStats`] — the paper's measurement discipline applied to the
+//! simulator's own hot loop.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -81,6 +87,62 @@ pub trait EventSchedule<E> {
     /// Total number of events ever scheduled (a cheap proxy for
     /// simulation work, reported by the bench harness).
     fn scheduled_total(&self) -> u64;
+
+    /// Snapshot of the implementation's self-telemetry counters.
+    fn stats(&self) -> QueueStats;
+}
+
+/// Number of power-of-two buckets in the hold-distance histogram.
+pub const HOLD_BUCKETS: usize = 16;
+
+/// Self-telemetry counters every pending-event set maintains. All are
+/// plain integer increments on the schedule/pop paths, cheap enough to
+/// stay on unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events ever popped.
+    pub popped: u64,
+    /// Peak pending population.
+    pub pending_peak: u64,
+    /// Events that missed the calendar wheel's horizon and spilled to
+    /// the overflow heap (always 0 for the heap scheduler).
+    pub overflow_spills: u64,
+    /// Peak population on the calendar wheel proper (always 0 for the
+    /// heap scheduler).
+    pub wheel_peak: u64,
+    /// Histogram of hold distances — how far ahead of the most recent
+    /// pop each event was scheduled. Bucket 0 counts zero-cycle
+    /// distances; bucket `k ≥ 1` counts distances in
+    /// `[2^(k-1), 2^k)`; the last bucket absorbs everything beyond.
+    pub hold_hist: [u64; HOLD_BUCKETS],
+}
+
+impl QueueStats {
+    pub(crate) fn new() -> Self {
+        QueueStats {
+            scheduled: 0,
+            popped: 0,
+            pending_peak: 0,
+            overflow_spills: 0,
+            wheel_peak: 0,
+            hold_hist: [0; HOLD_BUCKETS],
+        }
+    }
+
+    /// Records one scheduling of an event `distance` cycles ahead of the
+    /// most recent pop, with `pending` events now in the set.
+    pub(crate) fn on_schedule(&mut self, distance: u64, pending: usize) {
+        self.scheduled += 1;
+        self.pending_peak = self.pending_peak.max(pending as u64);
+        let bucket = if distance == 0 {
+            0
+        } else {
+            (HOLD_BUCKETS - 1).min(64 - distance.leading_zeros() as usize)
+        };
+        self.hold_hist[bucket] += 1;
+    }
 }
 
 /// The `BinaryHeap`-backed future-event set: O(log n) schedule and pop.
@@ -90,17 +152,14 @@ pub trait EventSchedule<E> {
 pub struct HeapSchedule<E> {
     heap: BinaryHeap<Pending<E>>,
     next_seq: u64,
-    scheduled_total: u64,
+    stats: QueueStats,
+    last_popped: SimTime,
 }
 
 impl<E> HeapSchedule<E> {
     /// Creates an empty schedule.
     pub fn new() -> Self {
-        HeapSchedule {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            scheduled_total: 0,
-        }
+        Self::with_capacity(0)
     }
 
     /// Creates an empty schedule with room for `cap` pending events.
@@ -108,7 +167,8 @@ impl<E> HeapSchedule<E> {
         HeapSchedule {
             heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
-            scheduled_total: 0,
+            stats: QueueStats::new(),
+            last_popped: SimTime::ZERO,
         }
     }
 }
@@ -117,12 +177,17 @@ impl<E> EventSchedule<E> for HeapSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.scheduled_total += 1;
         self.heap.push(Pending { at, seq, payload });
+        self.stats
+            .on_schedule(at.0.saturating_sub(self.last_popped.0), self.heap.len());
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|p| (p.at, p.payload))
+        self.heap.pop().map(|p| {
+            self.stats.popped += 1;
+            self.last_popped = p.at;
+            (p.at, p.payload)
+        })
     }
 
     fn peek_time(&self) -> Option<SimTime> {
@@ -134,7 +199,11 @@ impl<E> EventSchedule<E> for HeapSchedule<E> {
     }
 
     fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.stats.scheduled
+    }
+
+    fn stats(&self) -> QueueStats {
+        self.stats
     }
 }
 
@@ -154,22 +223,37 @@ pub enum SchedKind {
 }
 
 impl SchedKind {
-    /// Reads the scheduler selection from `CEDAR_SCHED`.
-    ///
-    /// `calendar` (the default when unset) or `heap`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any other value, so a typo fails loudly instead of
-    /// silently benchmarking the wrong scheduler.
-    pub fn from_env() -> SchedKind {
-        match std::env::var("CEDAR_SCHED") {
-            Err(_) => SchedKind::Calendar,
-            Ok(v) => match v.as_str() {
-                "calendar" | "" => SchedKind::Calendar,
-                "heap" => SchedKind::Heap,
-                other => panic!("CEDAR_SCHED must be `heap` or `calendar`, got `{other}`"),
-            },
+    /// Canonical lower-case name (`"heap"` / `"calendar"`), the inverse
+    /// of the [`FromStr`](std::str::FromStr) parse.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SchedKind::Heap => "heap",
+            SchedKind::Calendar => "calendar",
+        }
+    }
+}
+
+impl Default for SchedKind {
+    /// The calendar queue: O(1) amortized on the event-dense schedules
+    /// the Cedar machine produces.
+    fn default() -> Self {
+        SchedKind::Calendar
+    }
+}
+
+impl std::str::FromStr for SchedKind {
+    type Err = String;
+
+    /// Parses `"heap"` or `"calendar"` (empty selects the default).
+    /// Used by `cedar_obs::RunOptions::from_env` for `CEDAR_SCHED`; this
+    /// crate itself never consults the environment.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "calendar" | "" => Ok(SchedKind::Calendar),
+            "heap" => Ok(SchedKind::Heap),
+            other => Err(format!(
+                "scheduler must be `heap` or `calendar`, got `{other}`"
+            )),
         }
     }
 }
@@ -181,10 +265,13 @@ impl SchedKind {
 /// order, bit for bit.
 ///
 /// The backing implementation is chosen at construction: `new` and
-/// `with_capacity` consult `CEDAR_SCHED` (see [`SchedKind::from_env`]);
-/// [`heap`](Self::heap), [`calendar`](Self::calendar) and
-/// [`with_kind`](Self::with_kind) select explicitly. Every implementation
-/// pops in the same order, so the choice affects wall-clock speed only.
+/// `with_capacity` use the default [`SchedKind`] (calendar);
+/// [`heap`](Self::heap), [`calendar`](Self::calendar),
+/// [`with_kind`](Self::with_kind) and
+/// [`with_kind_capacity`](Self::with_kind_capacity) select explicitly —
+/// callers that honour a run configuration pass
+/// `RunOptions::scheduler` down here. Every implementation pops in the
+/// same order, so the choice affects wall-clock speed only.
 ///
 /// # Example
 ///
@@ -206,25 +293,31 @@ enum QueueImpl<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue of the kind selected by `CEDAR_SCHED`.
+    /// Creates an empty queue of the default kind (calendar).
     pub fn new() -> Self {
-        Self::with_kind(SchedKind::from_env())
+        Self::with_kind(SchedKind::default())
     }
 
-    /// Creates an empty queue of the `CEDAR_SCHED` kind with room for
-    /// `cap` pending events (a pre-allocation hint; the calendar queue
-    /// sizes its buckets lazily and ignores it).
+    /// Creates an empty queue of the default kind with room for `cap`
+    /// pending events (a pre-allocation hint; the calendar queue sizes
+    /// its buckets lazily and ignores it).
     pub fn with_capacity(cap: usize) -> Self {
-        match SchedKind::from_env() {
-            SchedKind::Heap => EventQueue(QueueImpl::Heap(HeapSchedule::with_capacity(cap))),
-            SchedKind::Calendar => Self::calendar(),
-        }
+        Self::with_kind_capacity(SchedKind::default(), cap)
     }
 
     /// Creates an empty queue of an explicit kind.
     pub fn with_kind(kind: SchedKind) -> Self {
         match kind {
             SchedKind::Heap => Self::heap(),
+            SchedKind::Calendar => Self::calendar(),
+        }
+    }
+
+    /// Creates an empty queue of an explicit kind with room for `cap`
+    /// pending events.
+    pub fn with_kind_capacity(kind: SchedKind, cap: usize) -> Self {
+        match kind {
+            SchedKind::Heap => EventQueue(QueueImpl::Heap(HeapSchedule::with_capacity(cap))),
             SchedKind::Calendar => Self::calendar(),
         }
     }
@@ -292,6 +385,14 @@ impl<E> EventQueue<E> {
             QueueImpl::Calendar(q) => EventSchedule::scheduled_total(q),
         }
     }
+
+    /// Snapshot of the backing implementation's self-telemetry counters.
+    pub fn stats(&self) -> QueueStats {
+        match &self.0 {
+            QueueImpl::Heap(q) => EventSchedule::stats(q),
+            QueueImpl::Calendar(q) => EventSchedule::stats(q),
+        }
+    }
 }
 
 impl<E> EventSchedule<E> for EventQueue<E> {
@@ -309,6 +410,9 @@ impl<E> EventSchedule<E> for EventQueue<E> {
     }
     fn scheduled_total(&self) -> u64 {
         EventQueue::scheduled_total(self)
+    }
+    fn stats(&self) -> QueueStats {
+        EventQueue::stats(self)
     }
 }
 
@@ -411,12 +515,45 @@ mod tests {
     }
 
     #[test]
-    fn default_kind_is_calendar_when_env_unset() {
-        // The test environment never sets CEDAR_SCHED; if it does, the
-        // selection must still round-trip through `from_env`.
-        assert_eq!(EventQueue::<u8>::new().kind(), SchedKind::from_env());
-        if std::env::var("CEDAR_SCHED").is_err() {
-            assert_eq!(SchedKind::from_env(), SchedKind::Calendar);
+    fn default_kind_is_calendar() {
+        assert_eq!(EventQueue::<u8>::new().kind(), SchedKind::Calendar);
+        assert_eq!(
+            EventQueue::<u8>::with_capacity(64).kind(),
+            SchedKind::Calendar
+        );
+        assert_eq!(SchedKind::default(), SchedKind::Calendar);
+    }
+
+    #[test]
+    fn kind_parses_and_roundtrips() {
+        for kind in [SchedKind::Heap, SchedKind::Calendar] {
+            assert_eq!(kind.as_str().parse::<SchedKind>().unwrap(), kind);
+            assert_eq!(EventQueue::<u8>::with_kind_capacity(kind, 16).kind(), kind);
         }
+        assert_eq!("".parse::<SchedKind>().unwrap(), SchedKind::Calendar);
+        assert!("typo".parse::<SchedKind>().is_err());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        both(|mut q| {
+            q.schedule(Cycles(0), 0); // distance 0 → bucket 0
+            q.schedule(Cycles(1), 1); // distance 1 → bucket 1
+            q.schedule(Cycles(6), 2); // distance 6 → bucket 3 ([4,8))
+            let s = q.stats();
+            assert_eq!(s.scheduled, 3);
+            assert_eq!(s.popped, 0);
+            assert_eq!(s.pending_peak, 3);
+            assert_eq!(s.hold_hist[0], 1);
+            assert_eq!(s.hold_hist[1], 1);
+            assert_eq!(s.hold_hist[3], 1);
+            while q.pop().is_some() {}
+            assert_eq!(q.stats().popped, 3);
+            // Distances are measured from the last pop (now at t=6).
+            q.schedule(Cycles(6 + 40_000), 3);
+            let s = q.stats();
+            assert_eq!(s.hold_hist[HOLD_BUCKETS - 1], 1, "tail bucket absorbs");
+            assert_eq!(s.pending_peak, 3, "peak is a high-water mark");
+        });
     }
 }

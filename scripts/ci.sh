@@ -10,6 +10,23 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Environment-read guard: library crates must take their configuration
+# through the typed cedar_obs::RunOptions surface, not ambient std::env
+# reads. Only two sanctioned readers exist — RunOptions::from_env
+# (crates/obs/src/options.rs) and the golden-snapshot re-recorder
+# (UPDATE_GOLDEN, crates/report/src/golden.rs). Any other hit fails CI.
+echo "==> env-read guard (std::env::var outside sanctioned modules)"
+leaks=$(grep -rn "std::env::var" crates/*/src \
+    | grep -v "^crates/obs/src/options\.rs:" \
+    | grep -v "^crates/report/src/golden\.rs:" \
+    || true)
+if [ -n "$leaks" ]; then
+    echo "error: unsanctioned std::env::var in library code:" >&2
+    echo "$leaks" >&2
+    echo "route the knob through cedar_obs::RunOptions instead" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -18,5 +35,15 @@ cargo test -q --offline --workspace
 
 echo "==> bench harness smoke pass (BENCH_SMOKE=1: 1 iteration, no warmup)"
 BENCH_SMOKE=1 cargo bench --offline -p cedar-bench
+
+echo "==> reduced-scale campaign + run manifest (CEDAR_SHRINK=16, CEDAR_OBS=full)"
+CEDAR_SHRINK=16 CEDAR_OBS=full cargo run --release --offline -p cedar-bench --bin all > /dev/null
+for f in results/RUN_manifest.json results/RUN_telemetry.jsonl; do
+    test -s "$f" || {
+        echo "error: campaign did not write $f" >&2
+        exit 1
+    }
+done
+echo "    wrote results/RUN_manifest.json + results/RUN_telemetry.jsonl"
 
 echo "==> OK"

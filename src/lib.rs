@@ -5,19 +5,38 @@
 //! System and Parallelization Overheads* (Natarajan, Sharma, Iyer) on a
 //! simulated Cedar shared-memory multiprocessor.
 //!
-//! Most users want [`core`] (experiment driver and methodology),
-//! [`apps`] (the five Perfect Benchmark workload models) and
-//! [`report`] (table/figure rendering). The remaining crates are the
-//! simulated substrates: [`hw`] (network + global memory + clusters),
-//! [`xylem`] (operating system), [`rtl`] (Cedar Fortran runtime) and
-//! [`trace`] (cedarhpm / statfx / Q measurement facilities), all built on
-//! the [`sim`] discrete-event kernel.
+//! Most users want [`prelude`] (one import for the whole experiment
+//! surface), [`core`] (experiment driver and methodology), [`apps`] (the
+//! five Perfect Benchmark workload models) and [`report`] (table/figure
+//! rendering). The remaining crates are the simulated substrates:
+//! [`hw`] (network + global memory + clusters), [`xylem`] (operating
+//! system), [`rtl`] (Cedar Fortran runtime), [`trace`] (cedarhpm /
+//! statfx / Q measurement facilities) and [`obs`] (the reproduction's
+//! own telemetry: `RunOptions`, recorders, the run-manifest JSON
+//! writer), all built on the [`sim`] discrete-event kernel.
 
 pub use cedar_apps as apps;
 pub use cedar_core as core;
 pub use cedar_hw as hw;
+pub use cedar_obs as obs;
 pub use cedar_report as report;
 pub use cedar_rtl as rtl;
 pub use cedar_sim as sim;
 pub use cedar_trace as trace;
 pub use cedar_xylem as xylem;
+
+/// Everything needed to configure, run and report a measurement
+/// campaign: [`cedar_core::prelude`] plus the report entry points.
+///
+/// ```
+/// use cedar::prelude::*;
+///
+/// let opts = RunOptions::default().with_scheduler(SchedKind::Heap);
+/// let app = cedar::apps::synthetic::uniform_xdoall(1, 2, 8, 150, 4);
+/// let suite = SuiteResult::run_sequential(&[app], &[Configuration::P1], &opts);
+/// assert!(tables::table1(&suite).contains("1 proc"));
+/// ```
+pub mod prelude {
+    pub use cedar_core::prelude::*;
+    pub use cedar_report::{csv, figures, golden, tables};
+}

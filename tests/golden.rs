@@ -23,6 +23,7 @@ use std::sync::OnceLock;
 use cedar::apps::perfect_suite;
 use cedar::core::suite::SuiteResult;
 use cedar::hw::Configuration;
+use cedar::obs::RunOptions;
 use cedar::report::{figures, golden, tables};
 
 /// Fixed shrink factor — must not depend on the build profile, or the
@@ -36,7 +37,7 @@ fn campaign() -> &'static SuiteResult {
             .into_iter()
             .map(|a| a.shrunk(GOLDEN_SHRINK))
             .collect();
-        SuiteResult::run_parallel(&apps, &Configuration::ALL, None)
+        SuiteResult::run_parallel(&apps, &Configuration::ALL, &RunOptions::default())
             .expect("campaign experiment panicked")
     })
 }

@@ -13,11 +13,12 @@ use std::sync::OnceLock;
 use cedar::core::methodology::{contention_overhead, parallel_loop_concurrency};
 use cedar::core::suite::SuiteResult;
 use cedar::hw::Configuration;
+use cedar::obs::RunOptions;
 use cedar::trace::UserBucket;
 
 fn campaign() -> &'static SuiteResult {
     static C: OnceLock<SuiteResult> = OnceLock::new();
-    C.get_or_init(SuiteResult::full_campaign)
+    C.get_or_init(|| SuiteResult::full_campaign(&RunOptions::default()))
 }
 
 fn speedup(app: &str, c: Configuration) -> f64 {

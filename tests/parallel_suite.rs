@@ -5,6 +5,7 @@
 use cedar::apps::{perfect_suite, AppSpec};
 use cedar::core::suite::SuiteResult;
 use cedar::hw::Configuration;
+use cedar::obs::RunOptions;
 use cedar::report;
 
 /// Campaign apps shrunk to a fixed factor so debug-build tests stay
@@ -35,9 +36,10 @@ fn render_all(suite: &SuiteResult) -> String {
 #[test]
 fn parallel_grid_is_byte_identical_to_sequential() {
     let apps = grid_apps();
-    let sequential = SuiteResult::run_sequential(&apps, &Configuration::ALL);
-    let parallel =
-        SuiteResult::run_parallel(&apps, &Configuration::ALL, None).expect("no experiment panics");
+    let sequential =
+        SuiteResult::run_sequential(&apps, &Configuration::ALL, &RunOptions::default());
+    let parallel = SuiteResult::run_parallel(&apps, &Configuration::ALL, &RunOptions::default())
+        .expect("no experiment panics");
     assert_eq!(
         render_all(&sequential),
         render_all(&parallel),
@@ -65,7 +67,8 @@ fn worker_count_does_not_change_the_flo52_p8_measurements() {
     let runs: Vec<SuiteResult> = [1usize, 2, 8]
         .iter()
         .map(|&w| {
-            SuiteResult::run_parallel(&apps, &[Configuration::P8], Some(w))
+            let opts = RunOptions::default().with_workers(w);
+            SuiteResult::run_parallel(&apps, &[Configuration::P8], &opts)
                 .expect("no experiment panics")
         })
         .collect();
@@ -99,8 +102,9 @@ fn oversubscribed_pool_matches_too() {
     // More workers than jobs must degrade to one job per worker.
     let apps: Vec<AppSpec> = grid_apps().into_iter().take(2).collect();
     let configs = [Configuration::P1, Configuration::P4];
-    let seq = SuiteResult::run_sequential(&apps, &configs);
-    let par = SuiteResult::run_parallel(&apps, &configs, Some(64)).expect("no panics");
+    let seq = SuiteResult::run_sequential(&apps, &configs, &RunOptions::default());
+    let par = SuiteResult::run_parallel(&apps, &configs, &RunOptions::default().with_workers(64))
+        .expect("no panics");
     for (s, p) in seq.apps.iter().zip(&par.apps) {
         assert_eq!(s.app, p.app);
         for (sr, pr) in s.runs.iter().zip(&p.runs) {

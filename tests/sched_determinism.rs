@@ -2,25 +2,23 @@
 //! produce bit-identical simulations.
 //!
 //! The golden tests in `tests/golden.rs` run under the default
-//! scheduler (`CEDAR_SCHED` unset → calendar). This test pins
-//! `CEDAR_SCHED=heap`, re-runs the same reduced-scale campaign, and
+//! scheduler ([`SchedKind::Calendar`]). This test selects the heap
+//! scheduler through the typed configuration path —
+//! `RunOptions::with_scheduler(SchedKind::Heap)`, no environment
+//! variables involved — re-runs the same reduced-scale campaign, and
 //! renders the same tables/figure against the *same committed
 //! snapshots*. Together the two test files prove that swapping the
 //! future-event set changes nothing observable — every Table 2/3/4 and
 //! Figure 3 byte is identical under both schedulers.
-//!
-//! `CEDAR_SCHED` is set once, up front, in a single `#[test]` (not per
-//! table): the queue reads the variable at construction and test
-//! threads share the process environment, so one test owning the env
-//! var for its whole run avoids any cross-test race.
 
 use std::path::PathBuf;
 
 use cedar::apps::perfect_suite;
 use cedar::core::suite::SuiteResult;
 use cedar::hw::Configuration;
+use cedar::obs::RunOptions;
 use cedar::report::{figures, golden, tables};
-use cedar::sim::{EventQueue, SchedKind};
+use cedar::sim::SchedKind;
 
 /// Must match `GOLDEN_SHRINK` in `tests/golden.rs` — both suites render
 /// against the same snapshots.
@@ -34,21 +32,13 @@ fn golden_path(name: &str) -> PathBuf {
 
 #[test]
 fn heap_scheduler_reproduces_the_calendar_goldens() {
-    // Safety: this is the only test in this binary that touches the
-    // environment, and integration-test binaries run independently of
-    // other test targets.
-    std::env::set_var("CEDAR_SCHED", "heap");
-    assert_eq!(
-        EventQueue::<u64>::new().kind(),
-        SchedKind::Heap,
-        "CEDAR_SCHED=heap was not honoured"
-    );
+    let opts = RunOptions::default().with_scheduler(SchedKind::Heap);
 
     let apps: Vec<_> = perfect_suite()
         .into_iter()
         .map(|a| a.shrunk(GOLDEN_SHRINK))
         .collect();
-    let campaign = SuiteResult::run_parallel(&apps, &Configuration::ALL, None)
+    let campaign = SuiteResult::run_parallel(&apps, &Configuration::ALL, &opts)
         .expect("campaign experiment panicked");
 
     // The snapshots under tests/golden/ were recorded under the default
