@@ -13,7 +13,9 @@
 
 use cedar_apps::perfect_suite;
 use cedar_bench::harness::{black_box, Harness};
+use cedar_core::prelude::FaultPlan;
 use cedar_core::suite::SuiteResult;
+use cedar_core::{Experiment, SimConfig};
 use cedar_hw::{
     CeId, Configuration, GlobalAddr, GlobalMemorySystem, GmemEvent, GmemOutput, MemOp, NetConfig,
 };
@@ -119,10 +121,48 @@ fn bench_suite(h: &mut Harness) {
     });
 }
 
+/// Fault-path timing: FLO52 at 8 processors under the canonical fault
+/// campaign. Gated against `results/bench_baseline.json` so the
+/// injection hot path (driver draws, extra events, scaled lock
+/// acquires) cannot silently slow the simulator down. Doubles as an A/B
+/// equivalence check: both schedulers must produce the identical
+/// faulted run.
+fn bench_faults(h: &mut Harness) {
+    let app = perfect_suite()
+        .into_iter()
+        .find(|a| a.name == "FLO52")
+        .expect("FLO52 in the perfect suite")
+        .shrunk(24);
+    let plan = FaultPlan::canonical();
+    let run = |kind: SchedKind| {
+        Experiment::new(
+            app.clone(),
+            SimConfig::cedar(Configuration::P8)
+                .with_scheduler(kind)
+                .with_faults(plan),
+        )
+        .run()
+    };
+    let heap = run(SchedKind::Heap);
+    let calendar = run(SchedKind::Calendar);
+    assert_eq!(
+        heap.completion_time, calendar.completion_time,
+        "schedulers diverged on the faulted run"
+    );
+    assert_eq!(
+        heap.events, calendar.events,
+        "faulted event counts diverged"
+    );
+    h.bench("faults/flo52_p8/calendar", || {
+        black_box(run(SchedKind::Calendar))
+    });
+}
+
 fn main() {
     let mut h = Harness::new("scheduler");
     bench_hold(&mut h);
     bench_net_dense(&mut h);
     bench_suite(&mut h);
+    bench_faults(&mut h);
     h.finish().expect("write bench JSON");
 }

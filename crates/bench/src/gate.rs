@@ -24,6 +24,12 @@ pub const SUITE_TOLERANCE: f64 = 0.15;
 /// Required calendar-over-heap speedup on `sched/net_dense`.
 pub const SCHED_MARGIN: f64 = 1.3;
 
+/// Allowed fault-path runtime growth over the baseline: +15%. Keeps
+/// the injection machinery (driver draws, extra fault events, scaled
+/// lock acquires) honest the same way the suite check keeps the clean
+/// simulator honest.
+pub const FAULTS_TOLERANCE: f64 = 0.15;
+
 /// Extracts `benchmark name -> median_ns` from harness-format JSON.
 ///
 /// Scans for `"name":"<s>"` followed by `"median_ns":<f>` within the
@@ -96,6 +102,29 @@ pub fn check(fresh: &str, baseline: &str) -> Result<String, String> {
         .unwrap();
     }
 
+    let faults_now = get(&fresh, "faults/flo52_p8/calendar", "fresh")?;
+    let faults_base = get(&baseline, "faults/flo52_p8/calendar", "baseline")?;
+    let faults_growth = faults_now / faults_base - 1.0;
+    writeln!(
+        report,
+        "faults/flo52_p8: {:.1} ms vs baseline {:.1} ms ({:+.1}%, budget {:+.0}%)",
+        faults_now / 1e6,
+        faults_base / 1e6,
+        faults_growth * 100.0,
+        FAULTS_TOLERANCE * 100.0
+    )
+    .unwrap();
+    if faults_growth > FAULTS_TOLERANCE {
+        writeln!(
+            failures,
+            "fault-path runtime regressed {:.1}% (budget {:.0}%); if the slowdown is \
+             intentional, refresh results/bench_baseline.json (see scripts/bench_check.sh)",
+            faults_growth * 100.0,
+            FAULTS_TOLERANCE * 100.0
+        )
+        .unwrap();
+    }
+
     let heap = get(&fresh, "sched/net_dense/heap", "fresh")?;
     let calendar = get(&fresh, "sched/net_dense/calendar", "fresh")?;
     let speedup = heap / calendar;
@@ -151,39 +180,60 @@ mod tests {
         assert!(medians("{\"benchmarks\":[{\"name\":\"x\",\"iters\":3}]}").is_err());
     }
 
+    /// Baseline with both gated medians at 100 ms.
+    fn base_json() -> String {
+        json(&[
+            ("suite/mini_campaign", 100.0e6),
+            ("faults/flo52_p8/calendar", 100.0e6),
+        ])
+    }
+
     #[test]
     fn gate_passes_within_budget() {
-        let base = json(&[("suite/mini_campaign", 100.0e6)]);
         let fresh = json(&[
             ("suite/mini_campaign", 110.0e6),
+            ("faults/flo52_p8/calendar", 110.0e6),
             ("sched/net_dense/heap", 50.0e6),
             ("sched/net_dense/calendar", 20.0e6),
         ]);
-        let report = check(&fresh, &base).unwrap();
+        let report = check(&fresh, &base_json()).unwrap();
         assert!(report.contains("suite/mini_campaign"));
+        assert!(report.contains("faults/flo52_p8"));
     }
 
     #[test]
     fn gate_fails_on_suite_regression() {
-        let base = json(&[("suite/mini_campaign", 100.0e6)]);
         let fresh = json(&[
             ("suite/mini_campaign", 120.0e6),
+            ("faults/flo52_p8/calendar", 100.0e6),
             ("sched/net_dense/heap", 50.0e6),
             ("sched/net_dense/calendar", 20.0e6),
         ]);
-        let err = check(&fresh, &base).unwrap_err();
+        let err = check(&fresh, &base_json()).unwrap_err();
         assert!(err.contains("suite runtime regressed"), "{err}");
     }
 
     #[test]
-    fn gate_fails_when_calendar_loses_margin() {
-        let base = json(&[("suite/mini_campaign", 100.0e6)]);
+    fn gate_fails_on_fault_path_regression() {
         let fresh = json(&[
             ("suite/mini_campaign", 100.0e6),
+            ("faults/flo52_p8/calendar", 130.0e6),
+            ("sched/net_dense/heap", 50.0e6),
+            ("sched/net_dense/calendar", 20.0e6),
+        ]);
+        let err = check(&fresh, &base_json()).unwrap_err();
+        assert!(err.contains("fault-path runtime regressed"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_when_calendar_loses_margin() {
+        let fresh = json(&[
+            ("suite/mini_campaign", 100.0e6),
+            ("faults/flo52_p8/calendar", 100.0e6),
             ("sched/net_dense/heap", 50.0e6),
             ("sched/net_dense/calendar", 45.0e6),
         ]);
-        let err = check(&fresh, &base).unwrap_err();
+        let err = check(&fresh, &base_json()).unwrap_err();
         assert!(err.contains("floor 1.3x"), "{err}");
     }
 

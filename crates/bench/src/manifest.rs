@@ -42,7 +42,15 @@ fn options_obj(opts: &RunOptions) -> String {
     o.u64("shrink", opts.shrink as u64);
     o.bool("smoke", opts.smoke);
     o.str("telemetry", opts.telemetry.as_str());
+    o.str("faults", &opts.faults.fingerprint());
     o.finish()
+}
+
+/// Where artifacts for `opts` land: its `output_dir` override, else the
+/// workspace-root `results/`. Shared by the manifest writer and the
+/// sweep binaries so every campaign file ends up in one place.
+pub fn artifact_dir(opts: &RunOptions) -> PathBuf {
+    opts.output_dir.clone().unwrap_or_else(default_dir)
 }
 
 /// Renders `RUN_manifest.json` for a finished campaign.
@@ -120,7 +128,7 @@ pub fn write(suite: &SuiteResult, opts: &RunOptions) -> io::Result<Vec<PathBuf>>
     if opts.telemetry == TelemetryLevel::Off {
         return Ok(Vec::new());
     }
-    let dir = opts.output_dir.clone().unwrap_or_else(default_dir);
+    let dir = artifact_dir(opts);
     std::fs::create_dir_all(&dir)?;
     let mut written = Vec::new();
     let manifest = dir.join("RUN_manifest.json");

@@ -1,5 +1,6 @@
 //! Complete simulation configuration.
 
+use cedar_faults::FaultPlan;
 use cedar_hw::{Configuration, HwConfig};
 use cedar_rtl::RtlConfig;
 use cedar_sim::SchedKind;
@@ -32,6 +33,9 @@ pub struct SimConfig {
     /// Competing multiprogrammed load (None = the paper's dedicated,
     /// single-user setting).
     pub background: Option<BackgroundLoad>,
+    /// Fault-injection campaign (the empty default injects nothing —
+    /// the run is byte-identical to one without the faults subsystem).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -46,6 +50,7 @@ impl SimConfig {
             max_events: 4_000_000_000,
             sched: SchedKind::default(),
             background: None,
+            faults: FaultPlan::default(),
         }
     }
 
@@ -139,6 +144,25 @@ impl SimConfig {
     /// ```
     pub fn with_background(mut self, load: BackgroundLoad) -> Self {
         self.background = Some(load);
+        self
+    }
+
+    /// Applies a fault-injection campaign (builder style). Passing
+    /// `FaultPlan::default()` restores the unperturbed machine, so the
+    /// builder is total.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_faults::FaultPlan;
+    /// use cedar_hw::Configuration;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8)
+    ///     .with_faults(FaultPlan::canonical());
+    /// assert!(!c.faults.is_empty());
+    /// assert!(c.with_faults(FaultPlan::default()).faults.is_empty());
+    /// ```
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 

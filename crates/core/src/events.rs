@@ -45,12 +45,22 @@ pub enum Ev {
         /// Cluster position.
         cluster: usize,
     },
+    /// A timed fault-injection occurrence fires on a cluster (never
+    /// scheduled when the run's `FaultPlan` is empty). A distinct class
+    /// so injected events are never silently folded into the organic
+    /// event counts.
+    Fault {
+        /// Which timed fault class fired.
+        kind: cedar_faults::FaultKind,
+        /// Cluster position.
+        cluster: usize,
+    },
 }
 
 /// Telemetry counter name of each event class, indexed by
 /// [`Ev::class`]. Dotted `events.*` paths, ready for the run manifest's
 /// counter rollup.
-pub const EV_CLASS_NAMES: [&str; 7] = [
+pub const EV_CLASS_NAMES: [&str; 8] = [
     "events.gmem",
     "events.ce_done",
     "events.ce_resume",
@@ -58,6 +68,7 @@ pub const EV_CLASS_NAMES: [&str; 7] = [
     "events.daemon",
     "events.ast",
     "events.background",
+    "events.fault",
 ];
 
 impl Ev {
@@ -72,6 +83,7 @@ impl Ev {
             Ev::Daemon { .. } => 4,
             Ev::Ast { .. } => 5,
             Ev::Background { .. } => 6,
+            Ev::Fault { .. } => 7,
         }
     }
 }

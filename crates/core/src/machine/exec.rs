@@ -60,6 +60,13 @@ impl Machine {
                     .schedule(t, crate::events::Ev::Background { cluster });
             }
         }
+        // Arm the fault campaign's timed occurrence streams.
+        if let Some(driver) = self.fault_driver.as_mut() {
+            for (t, kind, cluster) in driver.first_events() {
+                self.queue
+                    .schedule(t, crate::events::Ev::Fault { kind, cluster });
+            }
+        }
         self.next_phase();
     }
 

@@ -6,6 +6,7 @@
 //! activity handling lives in [`os`].
 
 pub mod exec;
+pub mod faults;
 pub mod os;
 pub mod state;
 
@@ -57,6 +58,12 @@ pub struct Machine {
     pub(crate) asts: Vec<AstSchedule>,
     pub(crate) background: Vec<cedar_xylem::BackgroundSchedule>,
     pub(crate) background_stolen: Cycles,
+    /// Occurrence engine of the fault-injection campaign; `None` when
+    /// the plan is empty, so the unperturbed machine carries no fault
+    /// state at all.
+    pub(crate) fault_driver: Option<cedar_faults::FaultDriver>,
+    /// Cycles injected so far, per attribution surface.
+    pub(crate) injected: faults::InjectedCost,
     pub(crate) rng: SplitMix64,
     pub(crate) req_owner: HashMap<RequestId, usize>,
     pub(crate) joined_truth: i32,
@@ -133,12 +140,22 @@ impl Machine {
             })
             .unwrap_or_default();
 
+        // A degraded-network fault statically stretches the latency
+        // parameters the memory system is built with; everything
+        // downstream (min_round_trip, queueing stats) stays consistent.
+        let net = match cfg.faults.degraded_network {
+            Some(d) => cfg.hw.net.slowed(d.switch_pct, d.module_pct),
+            None => cfg.hw.net.clone(),
+        };
+        let fault_driver = (!cfg.faults.is_empty())
+            .then(|| cedar_faults::FaultDriver::new(&cfg.faults, n_clusters));
+
         Machine {
             app_name: app.name,
             layout,
             program,
             queue: EventQueue::with_kind_capacity(cfg.sched, 1 << 16),
-            gmem: GlobalMemorySystem::new(cfg.hw.net.clone()),
+            gmem: GlobalMemorySystem::new(net),
             gmem_out: Outbox::new(),
             ces,
             tasks,
@@ -153,6 +170,8 @@ impl Machine {
             asts,
             background,
             background_stolen: Cycles::ZERO,
+            fault_driver,
+            injected: faults::InjectedCost::default(),
             rng,
             req_owner: HashMap::new(),
             joined_truth: 0,
@@ -421,6 +440,7 @@ impl Machine {
             Ev::Daemon { cluster } => self.on_daemon(cluster),
             Ev::Ast { cluster } => self.on_ast(cluster),
             Ev::Background { cluster } => self.on_background(cluster),
+            Ev::Fault { kind, cluster } => self.on_fault(kind, cluster),
         }
     }
 
@@ -521,6 +541,28 @@ impl Machine {
         c.add("outbox.grows", o.grows);
         c.record_max("outbox.buffered.peak", o.peak_buffered);
         c.add("bodies", self.bodies_executed);
+        // Fault-campaign counters only exist when a plan is armed, so an
+        // empty plan leaves the rollup byte-identical to the pre-faults
+        // machine.
+        if !self.cfg.faults.is_empty() {
+            c.add("faults.injected.cpi", self.injected.cpi.0);
+            c.add("faults.injected.ast", self.injected.ast.0);
+            c.add("faults.injected.pgflt_seq", self.injected.pgflt_seq.0);
+            c.add("faults.injected.pgflt_conc", self.injected.pgflt_conc.0);
+            c.add("faults.injected.stall", self.injected.stall.0);
+            c.add("faults.injected.lock_cluster", self.injected.lock_cluster.0);
+            c.add("faults.injected.lock_global", self.injected.lock_global.0);
+            let (inj_seq, inj_conc) = self.vm.injected_faults();
+            c.add("faults.count.pgflt_seq", inj_seq);
+            c.add("faults.count.pgflt_conc", inj_conc);
+            if let Some(driver) = &self.fault_driver {
+                for kind in cedar_faults::FaultKind::ALL {
+                    c.add(kind.counter_name(), driver.occurrences(kind));
+                }
+            }
+            let waiter_stalled: u64 = self.tasks.iter().map(|t| t.waiter.stalled().0).sum();
+            c.add("faults.waiter_stalled", waiter_stalled);
+        }
         c
     }
 

@@ -69,24 +69,28 @@ impl Machine {
             OsActivity::SyscallCluster
         };
         self.charge_os(cluster, activity, cost);
+        let pct = self.lock_inflate_pct();
         match kind.critical_section() {
             Some(CrSect::Global) => {
                 let hold = self.cfg.os.cr_sect_global;
-                let (_, spin) = self.global_lock.acquire(self.now, hold);
-                self.charge_os(cluster, OsActivity::CrSectGlobal, hold);
+                let (_, spin, held) = self.global_lock.acquire_scaled(self.now, hold, pct);
+                self.charge_os(cluster, OsActivity::CrSectGlobal, held);
+                self.injected.lock_global += held - hold;
                 if spin > Cycles::ZERO {
                     self.charge_os(cluster, OsActivity::KernelSpin, spin);
                 }
-                self.lead_penalty(cluster, cost + hold + spin);
+                self.lead_penalty(cluster, cost + held + spin);
             }
             Some(CrSect::Cluster) => {
                 let hold = self.cfg.os.cr_sect_cluster;
-                let (_, spin) = self.cluster_locks[cluster].acquire(self.now, hold);
-                self.charge_os(cluster, OsActivity::CrSectCluster, hold);
+                let (_, spin, held) =
+                    self.cluster_locks[cluster].acquire_scaled(self.now, hold, pct);
+                self.charge_os(cluster, OsActivity::CrSectCluster, held);
+                self.injected.lock_cluster += held - hold;
                 if spin > Cycles::ZERO {
                     self.charge_os(cluster, OsActivity::KernelSpin, spin);
                 }
-                self.lead_penalty(cluster, cost + hold + spin);
+                self.lead_penalty(cluster, cost + held + spin);
             }
             None => self.lead_penalty(cluster, cost),
         }
@@ -109,16 +113,24 @@ impl Machine {
         self.charge_os(cluster, activity, cost);
         // The fault handler spends part of its service inside a cluster
         // critical section; only the *extra* spin (if another handler
-        // holds the lock) is charged on top.
+        // holds the lock) is charged on top. Under lock-hold inflation
+        // the handler occupies the lock longer; the extra hold is
+        // critical-section time and extends the stall.
         let hold = cost.scale(0.12);
-        let (_, spin) = self.cluster_locks[cluster].acquire(self.now, hold);
+        let pct = self.lock_inflate_pct();
+        let (_, spin, held) = self.cluster_locks[cluster].acquire_scaled(self.now, hold, pct);
+        let extra = held - hold;
+        if extra > Cycles::ZERO {
+            self.charge_os(cluster, OsActivity::CrSectCluster, extra);
+            self.injected.lock_cluster += extra;
+        }
         if spin > Cycles::ZERO {
             self.charge_os(cluster, OsActivity::KernelSpin, spin);
         }
         // The faulting CE is stalled for the whole mapping time.
-        self.ces[pos].pending_penalty += stall + spin;
+        self.ces[pos].pending_penalty += stall + spin + extra;
         if pos == self.lead_of(cluster) {
-            self.tasks[cluster].lead_overlap += stall + spin;
+            self.tasks[cluster].lead_overlap += stall + spin + extra;
         }
     }
 
@@ -139,8 +151,12 @@ impl Machine {
         // Save/restore plus the non-categorized bookkeeping time.
         self.charge_os(cluster, OsActivity::Ctx, work.ctx_per_ce + work.other);
         // Cluster critical sections the system task enters.
-        let (_, spin) = self.cluster_locks[cluster].acquire(self.now, work.cr_sect);
-        self.charge_os(cluster, OsActivity::CrSectCluster, work.cr_sect);
+        let pct = self.lock_inflate_pct();
+        let (_, spin, held) =
+            self.cluster_locks[cluster].acquire_scaled(self.now, work.cr_sect, pct);
+        self.charge_os(cluster, OsActivity::CrSectCluster, held);
+        let extra = held - work.cr_sect;
+        self.injected.lock_cluster += extra;
         if spin > Cycles::ZERO {
             self.charge_os(cluster, OsActivity::KernelSpin, spin);
         }
@@ -149,7 +165,7 @@ impl Machine {
         // The context-switch request interrupts every CE.
         self.raise_cpi(cluster);
         // The cluster is held for the whole daemon duration.
-        self.gang_penalty(cluster, work.ctx_per_ce + work.duration() + spin);
+        self.gang_penalty(cluster, work.ctx_per_ce + work.duration() + spin + extra);
     }
 
     /// A competing job's gang quantum steals `cluster` (multiprogrammed

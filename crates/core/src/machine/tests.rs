@@ -356,3 +356,84 @@ fn seed_changes_jitter_but_not_coverage() {
         "jitter must vary with the seed"
     );
 }
+
+#[test]
+fn fault_events_count_under_their_own_class() {
+    use cedar_faults::{FaultPlan, InterruptStorm};
+
+    let app = || synthetic::uniform_sdoall(2, 2, 8, 16, 400, 0);
+    let plan = FaultPlan::default().with_interrupt_storm(InterruptStorm {
+        mean_interval: Cycles(20_000),
+        burst: 2,
+    });
+    let base = run(app(), Configuration::P4);
+    let faulted = Machine::new(
+        &app(),
+        SimConfig::cedar(Configuration::P4).with_faults(plan),
+    )
+    .run();
+
+    // Injected occurrences ride a distinct event class — never folded
+    // into the organic counts.
+    assert_eq!(base.stats.counters.get("events.fault"), 0);
+    let fault_events = faulted.stats.counters.get("events.fault");
+    assert!(fault_events > 0, "armed plan must fire fault events");
+    assert_eq!(
+        fault_events,
+        faulted.stats.counters.get("faults.occ.storm"),
+        "event class and occurrence counter agree"
+    );
+    // The storm charges only the CPI bucket's primitives; its injected
+    // cost is recorded.
+    assert!(faulted.stats.counters.get("faults.injected.cpi") > 0);
+    assert_eq!(faulted.stats.counters.get("faults.injected.ast"), 0);
+    // Empty plans carry no fault counters at all.
+    assert_eq!(base.stats.counters.get("faults.occ.storm"), 0);
+    assert!(!base
+        .stats
+        .counters
+        .iter()
+        .any(|(name, _)| name.starts_with("faults.")));
+}
+
+#[test]
+fn empty_plan_is_byte_identical_to_no_plan() {
+    let app = || synthetic::uniform_sdoall(2, 2, 8, 16, 400, 8);
+    let base = run(app(), Configuration::P8);
+    let with_default_plan = Machine::new(
+        &app(),
+        SimConfig::cedar(Configuration::P8).with_faults(cedar_faults::FaultPlan::default()),
+    )
+    .run();
+    assert_eq!(base.completion_time, with_default_plan.completion_time);
+    assert_eq!(base.events, with_default_plan.events);
+    assert_eq!(
+        base.stats.counters.iter().collect::<Vec<_>>(),
+        with_default_plan.stats.counters.iter().collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn injected_page_faults_stay_out_of_organic_vm_counts() {
+    use cedar_faults::{FaultPlan, PageFaultWave};
+
+    let app = || synthetic::uniform_sdoall(1, 2, 8, 16, 400, 4);
+    let plan = FaultPlan::default().with_page_fault_wave(PageFaultWave {
+        mean_interval: Cycles(15_000),
+        faults_per_wave: 4,
+        concurrent_pct: 50,
+        seq_cost: Cycles(700),
+        conc_cost: Cycles(1_100),
+    });
+    let base = run(app(), Configuration::P4);
+    let faulted = Machine::new(
+        &app(),
+        SimConfig::cedar(Configuration::P4).with_faults(plan),
+    )
+    .run();
+    // RunResult.faults reports organic demand faults only.
+    assert_eq!(base.faults, faulted.faults);
+    let injected = faulted.stats.counters.get("faults.count.pgflt_seq")
+        + faulted.stats.counters.get("faults.count.pgflt_conc");
+    assert!(injected > 0, "waves must inject faults");
+}

@@ -20,6 +20,7 @@
 //! `cedar-report`; the facade crate's `cedar::prelude` re-exports this
 //! prelude together with those entry points.
 
+pub use cedar_faults::FaultPlan;
 pub use cedar_hw::Configuration;
 pub use cedar_obs::{Counters, Recorder, RunOptions, RunStats, TelemetryLevel};
 pub use cedar_sim::SchedKind;

@@ -113,7 +113,9 @@ fn grid(apps: &[AppSpec], configurations: &[Configuration]) -> Vec<(AppSpec, Con
 /// The machine configuration one grid cell runs under: the paper's Cedar
 /// at `c` processors, with the campaign-wide knobs from `opts` applied.
 fn cell_config(c: Configuration, opts: &RunOptions) -> SimConfig {
-    SimConfig::cedar(c).with_scheduler(opts.scheduler)
+    SimConfig::cedar(c)
+        .with_scheduler(opts.scheduler)
+        .with_faults(opts.faults)
 }
 
 /// Folds a flat grid of runs (in `grid` order) back into per-app groups.

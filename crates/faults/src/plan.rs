@@ -1,0 +1,335 @@
+//! The typed fault plan: which disturbances to inject, how hard.
+
+use cedar_sim::Cycles;
+
+/// Extra cross-processor interrupt storms: every occurrence raises
+/// `burst` back-to-back CPIs on the target cluster, each costing the
+/// machine's configured per-CE CPI service time (§5.1's "Interrupt" row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterruptStorm {
+    /// Mean cycles between storms on each cluster (±25% jitter).
+    pub mean_interval: Cycles,
+    /// CPIs raised per storm.
+    pub burst: u32,
+}
+
+/// Extra asynchronous-system-trap deliveries: every occurrence delivers
+/// `burst` ASTs to the target cluster's lead CE, each charged `cost`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstBurst {
+    /// Mean cycles between bursts on each cluster (±25% jitter).
+    pub mean_interval: Cycles,
+    /// AST deliveries per burst.
+    pub burst: u32,
+    /// OS service time charged per delivery.
+    pub cost: Cycles,
+}
+
+/// Synthetic page-fault waves: every occurrence injects
+/// `faults_per_wave` faults on the target cluster, each drawn
+/// concurrent with probability `concurrent_pct`%. Injected faults
+/// charge the corresponding `PgFlt*` bucket and stall the lead CE, but
+/// deliberately do **not** raise CPIs or touch real pages — the wave
+/// isolates the page-fault buckets so attribution tests can bound the
+/// cross-talk (organic concurrent faults do raise CPIs; see §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFaultWave {
+    /// Mean cycles between waves on each cluster (±25% jitter).
+    pub mean_interval: Cycles,
+    /// Faults injected per wave.
+    pub faults_per_wave: u32,
+    /// Probability (0–100) that an injected fault is concurrent.
+    pub concurrent_pct: u8,
+    /// Service cost charged per sequential fault.
+    pub seq_cost: Cycles,
+    /// Service cost charged per concurrent fault.
+    pub conc_cost: Cycles,
+}
+
+/// Kernel-lock hold-time inflation: every critical-section entry holds
+/// its lock `hold_pct`% longer than the cost model says. The extra hold
+/// is charged to the `CrSect*` buckets; any extra spin emerges from the
+/// FCFS lock occupancy exactly as in the unperturbed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockInflation {
+    /// Extra hold time as a percentage of the nominal hold (100 = 2x).
+    pub hold_pct: u32,
+}
+
+/// Statically degraded interconnect hardware: switch traversal and
+/// memory-module service latencies are stretched by the given
+/// percentages for the whole run. No OS bucket moves — the injected
+/// cost surfaces as global-memory queueing and latency, the paper's
+/// contention overhead (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedNetwork {
+    /// Extra switch-stage latency, percent (100 = 2x).
+    pub switch_pct: u32,
+    /// Extra module service/access latency, percent (100 = 2x).
+    pub module_pct: u32,
+}
+
+/// Helper-task stall injection: every occurrence freezes a helper
+/// cluster's lead CE for `stall` cycles, modelling the OS descheduling
+/// the helper. No OS bucket is charged — completion time stretches and
+/// the loss shows up only as lost user-side progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelperStall {
+    /// Mean cycles between stalls on each helper cluster (±25% jitter).
+    pub mean_interval: Cycles,
+    /// Stall length per occurrence.
+    pub stall: Cycles,
+}
+
+/// A complete fault campaign for one run. The default plan is empty —
+/// running with it is byte-identical to running without the faults
+/// subsystem at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the driver's per-`(class, cluster)` occurrence streams;
+    /// independent of the machine's master seed.
+    pub seed: u64,
+    /// Cross-processor interrupt storms.
+    pub interrupt_storm: Option<InterruptStorm>,
+    /// AST delivery bursts.
+    pub ast_burst: Option<AstBurst>,
+    /// Synthetic page-fault waves.
+    pub page_fault_wave: Option<PageFaultWave>,
+    /// Kernel-lock hold inflation.
+    pub lock_inflation: Option<LockInflation>,
+    /// Static network/memory degradation.
+    pub degraded_network: Option<DegradedNetwork>,
+    /// Helper-task stalls.
+    pub helper_stall: Option<HelperStall>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0xFA17_57ED,
+            interrupt_storm: None,
+            ast_burst: None,
+            page_fault_wave: None,
+            lock_inflation: None,
+            degraded_network: None,
+            helper_stall: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// `true` when no fault class is armed — the run must then be
+    /// byte-identical to one with no plan at all.
+    pub fn is_empty(&self) -> bool {
+        self.interrupt_storm.is_none()
+            && self.ast_burst.is_none()
+            && self.page_fault_wave.is_none()
+            && self.lock_inflation.is_none()
+            && self.degraded_network.is_none()
+            && self.helper_stall.is_none()
+    }
+
+    /// Overrides the driver seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Arms interrupt storms (builder style).
+    pub fn with_interrupt_storm(mut self, spec: InterruptStorm) -> Self {
+        self.interrupt_storm = Some(spec);
+        self
+    }
+
+    /// Arms AST bursts (builder style).
+    pub fn with_ast_burst(mut self, spec: AstBurst) -> Self {
+        self.ast_burst = Some(spec);
+        self
+    }
+
+    /// Arms page-fault waves (builder style).
+    pub fn with_page_fault_wave(mut self, spec: PageFaultWave) -> Self {
+        self.page_fault_wave = Some(spec);
+        self
+    }
+
+    /// Arms kernel-lock hold inflation (builder style).
+    pub fn with_lock_inflation(mut self, spec: LockInflation) -> Self {
+        self.lock_inflation = Some(spec);
+        self
+    }
+
+    /// Arms static network degradation (builder style).
+    pub fn with_degraded_network(mut self, spec: DegradedNetwork) -> Self {
+        self.degraded_network = Some(spec);
+        self
+    }
+
+    /// Arms helper-task stalls (builder style).
+    pub fn with_helper_stall(mut self, spec: HelperStall) -> Self {
+        self.helper_stall = Some(spec);
+        self
+    }
+
+    /// The canonical campaign plan the golden snapshot, the determinism
+    /// suite and `faultsweep` share: every class armed at a moderate
+    /// intensity, sized for the reduced-scale (shrink-16) workloads.
+    pub fn canonical() -> Self {
+        FaultPlan::default()
+            .with_interrupt_storm(InterruptStorm {
+                mean_interval: Cycles(40_000),
+                burst: 3,
+            })
+            .with_ast_burst(AstBurst {
+                mean_interval: Cycles(60_000),
+                burst: 4,
+                cost: Cycles(150),
+            })
+            .with_page_fault_wave(PageFaultWave {
+                mean_interval: Cycles(50_000),
+                faults_per_wave: 6,
+                concurrent_pct: 50,
+                seq_cost: Cycles(700),
+                conc_cost: Cycles(1_100),
+            })
+            .with_lock_inflation(LockInflation { hold_pct: 150 })
+            .with_degraded_network(DegradedNetwork {
+                switch_pct: 50,
+                module_pct: 50,
+            })
+            .with_helper_stall(HelperStall {
+                mean_interval: Cycles(45_000),
+                stall: Cycles(800),
+            })
+    }
+
+    /// The canonical plan scaled to an integer intensity `level`: 0 is
+    /// the empty plan, 1 is [`FaultPlan::canonical`], higher levels fire
+    /// every timed class `level`× as often and stretch the static
+    /// multipliers `level`×. `faultsweep` sweeps this axis.
+    pub fn canonical_at(level: u32) -> Self {
+        if level == 0 {
+            return FaultPlan::default();
+        }
+        let base = FaultPlan::canonical();
+        let div = |c: Cycles| Cycles((c.0 / level as u64).max(1));
+        FaultPlan {
+            seed: base.seed,
+            interrupt_storm: base.interrupt_storm.map(|s| InterruptStorm {
+                mean_interval: div(s.mean_interval),
+                ..s
+            }),
+            ast_burst: base.ast_burst.map(|s| AstBurst {
+                mean_interval: div(s.mean_interval),
+                ..s
+            }),
+            page_fault_wave: base.page_fault_wave.map(|s| PageFaultWave {
+                mean_interval: div(s.mean_interval),
+                ..s
+            }),
+            lock_inflation: base.lock_inflation.map(|s| LockInflation {
+                hold_pct: s.hold_pct * level,
+            }),
+            degraded_network: base.degraded_network.map(|s| DegradedNetwork {
+                switch_pct: s.switch_pct * level,
+                module_pct: s.module_pct * level,
+            }),
+            helper_stall: base.helper_stall.map(|s| HelperStall {
+                mean_interval: div(s.mean_interval),
+                ..s
+            }),
+        }
+    }
+
+    /// A stable, compact textual form of the plan for run fingerprints
+    /// and manifests. The empty plan renders as `none`.
+    pub fn fingerprint(&self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        let mut parts = vec![format!("seed={:#x}", self.seed)];
+        if let Some(s) = self.interrupt_storm {
+            parts.push(format!("storm(i={},b={})", s.mean_interval.0, s.burst));
+        }
+        if let Some(s) = self.ast_burst {
+            parts.push(format!(
+                "ast(i={},b={},c={})",
+                s.mean_interval.0, s.burst, s.cost.0
+            ));
+        }
+        if let Some(s) = self.page_fault_wave {
+            parts.push(format!(
+                "pgflt(i={},n={},cc={},s={},c={})",
+                s.mean_interval.0, s.faults_per_wave, s.concurrent_pct, s.seq_cost.0, s.conc_cost.0
+            ));
+        }
+        if let Some(s) = self.lock_inflation {
+            parts.push(format!("lock(+{}%)", s.hold_pct));
+        }
+        if let Some(s) = self.degraded_network {
+            parts.push(format!("net(sw+{}%,mod+{}%)", s.switch_pct, s.module_pct));
+        }
+        if let Some(s) = self.helper_stall {
+            parts.push(format!("stall(i={},d={})", s.mean_interval.0, s.stall.0));
+        }
+        parts.join(";")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_fingerprints_as_none() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        assert_eq!(p.fingerprint(), "none");
+    }
+
+    #[test]
+    fn builders_arm_each_class() {
+        let p = FaultPlan::canonical();
+        assert!(!p.is_empty());
+        assert!(p.interrupt_storm.is_some());
+        assert!(p.ast_burst.is_some());
+        assert!(p.page_fault_wave.is_some());
+        assert!(p.lock_inflation.is_some());
+        assert!(p.degraded_network.is_some());
+        assert!(p.helper_stall.is_some());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_plans() {
+        let a = FaultPlan::canonical();
+        let b = FaultPlan::canonical().with_seed(1);
+        let c = FaultPlan::default().with_lock_inflation(LockInflation { hold_pct: 50 });
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn intensity_zero_is_empty_and_levels_scale_intervals() {
+        assert!(FaultPlan::canonical_at(0).is_empty());
+        let one = FaultPlan::canonical_at(1);
+        assert_eq!(one, FaultPlan::canonical());
+        let four = FaultPlan::canonical_at(4);
+        assert_eq!(
+            four.interrupt_storm.unwrap().mean_interval.0,
+            one.interrupt_storm.unwrap().mean_interval.0 / 4
+        );
+        assert_eq!(
+            four.lock_inflation.unwrap().hold_pct,
+            one.lock_inflation.unwrap().hold_pct * 4
+        );
+        assert_eq!(four.degraded_network.unwrap().switch_pct, 200);
+    }
+
+    #[test]
+    fn seed_override_keeps_plan_contents() {
+        let p = FaultPlan::canonical().with_seed(99);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.interrupt_storm, FaultPlan::canonical().interrupt_storm);
+    }
+}

@@ -77,6 +77,21 @@ impl NetConfig {
     pub fn switches_per_stage(&self, inputs: u16) -> u16 {
         inputs.div_ceil(self.radix)
     }
+
+    /// This network with degraded hardware: switch-stage latency
+    /// stretched by `switch_pct`% and memory-module service/access
+    /// latency by `module_pct`% (fault-injection experiments; 0/0 is
+    /// the identity). Port occupancy and injection paths are untouched,
+    /// so the degradation models slow silicon, not a narrower network.
+    pub fn slowed(&self, switch_pct: u32, module_pct: u32) -> NetConfig {
+        let stretch = |c: Cycles, pct: u32| Cycles(c.0 + c.0 * pct as u64 / 100);
+        NetConfig {
+            switch_latency: stretch(self.switch_latency, switch_pct),
+            module_service: stretch(self.module_service, module_pct),
+            module_access: stretch(self.module_access, module_pct),
+            ..self.clone()
+        }
+    }
 }
 
 impl Default for NetConfig {
@@ -162,6 +177,18 @@ mod tests {
         let p1 = HwConfig::cedar(Configuration::P1);
         let p32 = HwConfig::cedar(Configuration::P32);
         assert_eq!(p1.net, p32.net);
+    }
+
+    #[test]
+    fn slowed_zero_is_identity_and_stretches_scale() {
+        let n = NetConfig::cedar();
+        assert_eq!(n.slowed(0, 0), n);
+        let s = n.slowed(50, 100);
+        assert_eq!(s.switch_latency, Cycles(6)); // 4 * 1.5
+        assert_eq!(s.module_service, Cycles(8)); // 4 * 2
+        assert_eq!(s.module_access, Cycles(16)); // 8 * 2
+        assert_eq!(s.port_occupancy, n.port_occupancy);
+        assert!(s.min_round_trip() > n.min_round_trip());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 
+use cedar_faults::FaultPlan;
 use cedar_sim::SchedKind;
 
 /// How much self-telemetry a run emits.
@@ -96,6 +97,16 @@ pub struct RunOptions {
     /// Output directory for manifests, bench JSON and telemetry streams
     /// (`None` = the workspace-root `results/`).
     pub output_dir: Option<PathBuf>,
+    /// Fault-injection campaign applied to every experiment (the empty
+    /// default injects nothing and leaves results byte-identical). A
+    /// deliberate exception to the host-vs-machine split: the plan
+    /// *does* change what is simulated, so it participates in
+    /// [`fingerprint_seed`](Self::fingerprint_seed), but it is campaign
+    /// tooling (sweeps, attribution tests) rather than a property of the
+    /// modelled Cedar, so it travels with the run options and is applied
+    /// to each cell's `SimConfig` by the suite runners. Typed only — no
+    /// environment variable sets it.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -109,6 +120,7 @@ impl Default for RunOptions {
             bench_warmup: None,
             telemetry: TelemetryLevel::default(),
             output_dir: None,
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -153,6 +165,7 @@ impl RunOptions {
                 .map(|v| v.parse().unwrap_or_else(|e| panic!("CEDAR_OBS: {e}")))
                 .unwrap_or_default(),
             output_dir: var("BENCH_JSON_DIR").map(PathBuf::from),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -204,6 +217,13 @@ impl RunOptions {
         self
     }
 
+    /// Applies a fault-injection campaign to every experiment (builder
+    /// style). `FaultPlan::default()` restores the unperturbed run.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// The stable fingerprint seed: every field that changes *what is
     /// simulated or how results are produced*, in a fixed textual form.
     /// Wall-clock-only knobs (worker count, bench iterations, output
@@ -212,10 +232,11 @@ impl RunOptions {
     /// manifests carry the same fingerprint.
     pub fn fingerprint_seed(&self) -> String {
         format!(
-            "sched={};shrink={};smoke={}",
+            "sched={};shrink={};smoke={};faults={}",
             self.scheduler.as_str(),
             self.shrink,
-            self.smoke
+            self.smoke,
+            self.faults.fingerprint()
         )
     }
 }
@@ -266,6 +287,15 @@ mod tests {
             assert_eq!(level.as_str().parse::<TelemetryLevel>().unwrap(), level);
         }
         assert!("verbose".parse::<TelemetryLevel>().is_err());
+    }
+
+    #[test]
+    fn fault_plan_changes_the_fingerprint() {
+        let a = RunOptions::default();
+        assert!(a.faults.is_empty());
+        assert!(a.fingerprint_seed().ends_with("faults=none"));
+        let b = RunOptions::default().with_faults(FaultPlan::canonical());
+        assert_ne!(a.fingerprint_seed(), b.fingerprint_seed());
     }
 
     #[test]

@@ -164,6 +164,96 @@ pub fn table4(suite: &SuiteResult) -> String {
     )
 }
 
+/// Injected-cost counter behind each OS-activity bucket, when one
+/// exists. The mapping mirrors `cedar-core`'s injection handlers: a
+/// fault class charges exactly one bucket, and the machine counts the
+/// cycles it added under these names.
+fn injected_counter(activity: OsActivity) -> Option<&'static str> {
+    match activity {
+        OsActivity::Cpi => Some("faults.injected.cpi"),
+        OsActivity::Ast => Some("faults.injected.ast"),
+        OsActivity::PgFltSequential => Some("faults.injected.pgflt_seq"),
+        OsActivity::PgFltConcurrent => Some("faults.injected.pgflt_conc"),
+        OsActivity::CrSectCluster => Some("faults.injected.lock_cluster"),
+        OsActivity::CrSectGlobal => Some("faults.injected.lock_global"),
+        _ => None,
+    }
+}
+
+/// The fault-attribution report: each Table-2 overhead bucket of a
+/// faulted run against its unperturbed baseline, next to the cycles the
+/// campaign says it injected there. Reading it row by row verifies the
+/// attribution story: the delta of a targeted bucket tracks its
+/// injected column, untargeted buckets stay near zero, and the final
+/// rows show how completion time and memory-system queueing absorbed
+/// the static classes (degraded network, helper stalls).
+pub fn fault_report(base: &cedar_core::RunResult, faulted: &cedar_core::RunResult) -> String {
+    assert_eq!(base.app, faulted.app, "compare runs of the same app");
+    assert_eq!(
+        base.configuration, faulted.configuration,
+        "compare runs of the same configuration"
+    );
+    let mut t = TextTable::new(vec![
+        "Overhead Category".to_string(),
+        "Base (ms)".into(),
+        "Faulted (ms)".into(),
+        "Delta (ms)".into(),
+        "Injected (ms)".into(),
+    ]);
+    for activity in OsActivity::ALL {
+        let b = base.os.total(activity).as_millis();
+        let f = faulted.os.total(activity).as_millis();
+        let injected = injected_counter(activity)
+            .map(|name| {
+                let cycles = faulted.stats.counters.get(name);
+                fnum(cedar_sim::Cycles(cycles).as_millis(), 3)
+            })
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            activity.label().to_string(),
+            fnum(b, 3),
+            fnum(f, 3),
+            fnum(f - b, 3),
+            injected,
+        ]);
+    }
+    t.separator();
+    let stall = faulted.stats.counters.get("faults.injected.stall");
+    t.row(vec![
+        "helper stall (user)".into(),
+        fnum(0.0, 3),
+        fnum(cedar_sim::Cycles(stall).as_millis(), 3),
+        "-".into(),
+        fnum(cedar_sim::Cycles(stall).as_millis(), 3),
+    ]);
+    t.row(vec![
+        "gmem queued/pkt (cyc)".into(),
+        fnum(base.gmem.mean_queued_per_packet(), 2),
+        fnum(faulted.gmem.mean_queued_per_packet(), 2),
+        fnum(
+            faulted.gmem.mean_queued_per_packet() - base.gmem.mean_queued_per_packet(),
+            2,
+        ),
+        "-".into(),
+    ]);
+    t.row(vec![
+        "completion time".into(),
+        fnum(base.completion_time.as_millis(), 3),
+        fnum(faulted.completion_time.as_millis(), 3),
+        fnum(
+            faulted.completion_time.as_millis() - base.completion_time.as_millis(),
+            3,
+        ),
+        "-".into(),
+    ]);
+    format!(
+        "Fault Attribution: {} @ {} — injected overhead per Table-2 bucket\n{}",
+        base.app,
+        base.configuration.label(),
+        t.render()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,5 +304,25 @@ mod tests {
         let t1 = table1(&suite);
         let ct_rows = t1.lines().filter(|l| l.contains("CT (s)")).count();
         assert_eq!(ct_rows, 3);
+    }
+
+    #[test]
+    fn fault_report_shows_every_bucket_and_the_injected_column() {
+        use cedar_core::prelude::FaultPlan;
+        use cedar_core::{Experiment, SimConfig};
+
+        let app = synthetic::uniform_sdoall(1, 2, 8, 8, 300, 4);
+        let cfg = SimConfig::cedar(Configuration::P4);
+        let base = Experiment::new(app.clone(), cfg.clone()).run();
+        let faulted = Experiment::new(app, cfg.with_faults(FaultPlan::canonical())).run();
+        let r = fault_report(&base, &faulted);
+        assert!(r.contains("Fault Attribution"));
+        for activity in OsActivity::ALL {
+            assert!(r.contains(activity.label()), "missing {activity:?} row");
+        }
+        assert!(r.contains("completion time"));
+        assert!(r.contains("gmem queued/pkt"));
+        // Faulted CT never beats the baseline.
+        assert!(faulted.completion_time >= base.completion_time);
     }
 }

@@ -37,6 +37,7 @@ pub struct WorkWaiter {
     period: Cycles,
     last_seq: u32,
     checks: u64,
+    stalled: Cycles,
     active: bool,
 }
 
@@ -48,6 +49,7 @@ impl WorkWaiter {
             period,
             last_seq: 0,
             checks: 0,
+            stalled: Cycles::ZERO,
             active: false,
         }
     }
@@ -102,6 +104,19 @@ impl WorkWaiter {
     /// Activity-word reads issued so far.
     pub fn checks(&self) -> u64 {
         self.checks
+    }
+
+    /// Records `d` cycles the spinning helper lost to an external stall
+    /// (OS descheduling, fault injection). Telemetry only: the stall
+    /// itself is applied on the helper's CE timeline; this keeps the
+    /// wait-phase share of the loss visible per task.
+    pub fn record_stall(&mut self, d: Cycles) {
+        self.stalled += d;
+    }
+
+    /// Total stall time recorded while wait-for-work was active.
+    pub fn stalled(&self) -> Cycles {
+        self.stalled
     }
 
     /// `true` while spinning.
@@ -173,6 +188,20 @@ mod tests {
         w.begin();
         let word = pack_activity(99, TERMINATE_CODE);
         assert_eq!(w.on_value(word), WaitStep::Terminate);
+    }
+
+    #[test]
+    fn stall_telemetry_accumulates_without_touching_the_spin() {
+        let mut w = waiter();
+        assert_eq!(w.stalled(), Cycles::ZERO);
+        w.begin();
+        w.record_stall(Cycles(800));
+        w.record_stall(Cycles(200));
+        assert_eq!(w.stalled(), Cycles(1_000));
+        // The spin state machine is unaffected.
+        assert!(w.is_active());
+        assert_eq!(w.checks(), 1);
+        assert!(matches!(w.on_value(0), WaitStep::Issue(_)));
     }
 
     #[test]

@@ -33,13 +33,29 @@ impl KernelLock {
     /// critical section from `critical_section_start` to
     /// `critical_section_start + hold`.
     pub fn acquire(&mut self, now: SimTime, hold: Cycles) -> (SimTime, Cycles) {
+        let (start, spin, _) = self.acquire_scaled(now, hold, 0);
+        (start, spin)
+    }
+
+    /// [`acquire`](Self::acquire) with the hold time inflated by
+    /// `inflate_pct`% (fault injection; 0 is the plain acquire).
+    /// Returns `(critical_section_start, spin_time, effective_hold)` —
+    /// the caller charges `effective_hold` to its critical-section
+    /// bucket so accounting matches the lock's true occupancy.
+    pub fn acquire_scaled(
+        &mut self,
+        now: SimTime,
+        hold: Cycles,
+        inflate_pct: u32,
+    ) -> (SimTime, Cycles, Cycles) {
+        let held = Cycles(hold.0 + hold.0 * inflate_pct as u64 / 100);
         let start = now.max(self.free_at);
         let spin = start - now;
-        self.free_at = start + hold;
+        self.free_at = start + held;
         self.acquisitions += 1;
         self.total_spin += spin;
-        self.total_held += hold;
-        (start, spin)
+        self.total_held += held;
+        (start, spin, held)
     }
 
     /// Total acquisitions.
@@ -91,6 +107,33 @@ mod tests {
         }
         assert_eq!(l.acquisitions(), 10);
         assert_eq!(l.total_held(), Cycles(100));
+    }
+
+    #[test]
+    fn scaled_acquire_inflates_hold_and_occupancy() {
+        let mut l = KernelLock::new();
+        let (start, spin, held) = l.acquire_scaled(Cycles(0), Cycles(100), 150);
+        assert_eq!((start, spin), (Cycles(0), Cycles::ZERO));
+        assert_eq!(held, Cycles(250));
+        // The next acquirer spins until the inflated hold releases.
+        let (s2, spin2) = l.acquire(Cycles(10), Cycles(10));
+        assert_eq!(s2, Cycles(250));
+        assert_eq!(spin2, Cycles(240));
+        assert_eq!(l.total_held(), Cycles(260));
+    }
+
+    #[test]
+    fn zero_inflation_matches_plain_acquire() {
+        let mut a = KernelLock::new();
+        let mut b = KernelLock::new();
+        for i in 0..5u64 {
+            let (s1, sp1) = a.acquire(Cycles(i * 7), Cycles(20));
+            let (s2, sp2, held) = b.acquire_scaled(Cycles(i * 7), Cycles(20), 0);
+            assert_eq!((s1, sp1), (s2, sp2));
+            assert_eq!(held, Cycles(20));
+        }
+        assert_eq!(a.total_held(), b.total_held());
+        assert_eq!(a.total_spin(), b.total_spin());
     }
 
     #[test]

@@ -82,6 +82,8 @@ pub struct AddressSpace {
     in_flight: HashMap<PageId, InFlight>,
     seq_faults: u64,
     conc_faults: u64,
+    injected_seq: u64,
+    injected_conc: u64,
 }
 
 impl AddressSpace {
@@ -94,6 +96,8 @@ impl AddressSpace {
             in_flight: HashMap::new(),
             seq_faults: 0,
             conc_faults: 0,
+            injected_seq: 0,
+            injected_conc: 0,
         }
     }
 
@@ -166,6 +170,23 @@ impl AddressSpace {
     /// Concurrent faults taken so far.
     pub fn conc_faults(&self) -> u64 {
         self.conc_faults
+    }
+
+    /// Records one fault *injected* by a fault-injection campaign. Kept
+    /// in the address space (the single page-fault bookkeeper) but in
+    /// separate counters, so [`seq_faults`](Self::seq_faults) /
+    /// [`conc_faults`](Self::conc_faults) stay organic-only and injected
+    /// faults are never silently folded into the demand-paging numbers.
+    pub fn record_injected(&mut self, class: FaultClass) {
+        match class {
+            FaultClass::Sequential => self.injected_seq += 1,
+            FaultClass::Concurrent => self.injected_conc += 1,
+        }
+    }
+
+    /// (sequential, concurrent) injected-fault counts.
+    pub fn injected_faults(&self) -> (u64, u64) {
+        (self.injected_seq, self.injected_conc)
     }
 }
 
@@ -262,6 +283,17 @@ mod tests {
             }
         }
         assert_eq!(vm.seq_faults(), 10);
+    }
+
+    #[test]
+    fn injected_faults_never_contaminate_organic_counts() {
+        let mut vm = vm();
+        vm.touch(PageId(0), CeId(0), Cycles(0));
+        vm.record_injected(FaultClass::Sequential);
+        vm.record_injected(FaultClass::Concurrent);
+        vm.record_injected(FaultClass::Concurrent);
+        assert_eq!((vm.seq_faults(), vm.conc_faults()), (1, 0));
+        assert_eq!(vm.injected_faults(), (1, 2));
     }
 
     #[test]

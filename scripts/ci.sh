@@ -46,4 +46,12 @@ for f in results/RUN_manifest.json results/RUN_telemetry.jsonl; do
 done
 echo "    wrote results/RUN_manifest.json + results/RUN_telemetry.jsonl"
 
+echo "==> fault-sensitivity sweep smoke (CEDAR_SHRINK=16)"
+CEDAR_SHRINK=16 cargo run --release --offline -p cedar-bench --bin faultsweep > /dev/null
+test -s results/FAULTS_sensitivity.csv || {
+    echo "error: faultsweep did not write results/FAULTS_sensitivity.csv" >&2
+    exit 1
+}
+echo "    wrote results/FAULTS_sensitivity.csv"
+
 echo "==> OK"

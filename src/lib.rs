@@ -11,12 +11,14 @@
 //! rendering). The remaining crates are the simulated substrates:
 //! [`hw`] (network + global memory + clusters), [`xylem`] (operating
 //! system), [`rtl`] (Cedar Fortran runtime), [`trace`] (cedarhpm /
-//! statfx / Q measurement facilities) and [`obs`] (the reproduction's
-//! own telemetry: `RunOptions`, recorders, the run-manifest JSON
-//! writer), all built on the [`sim`] discrete-event kernel.
+//! statfx / Q measurement facilities), [`faults`] (deterministic
+//! fault-injection campaigns) and [`obs`] (the reproduction's own
+//! telemetry: `RunOptions`, recorders, the run-manifest JSON writer),
+//! all built on the [`sim`] discrete-event kernel.
 
 pub use cedar_apps as apps;
 pub use cedar_core as core;
+pub use cedar_faults as faults;
 pub use cedar_hw as hw;
 pub use cedar_obs as obs;
 pub use cedar_report as report;

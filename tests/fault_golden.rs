@@ -1,0 +1,48 @@
+//! Golden snapshot of the fault-attribution report.
+//!
+//! Renders [`tables::fault_report`] for FLO52 at 8 processors under the
+//! canonical fault campaign ([`FaultPlan::canonical`]) against its
+//! unperturbed twin, and compares byte-for-byte with the committed
+//! snapshot. Together with `tests/golden.rs` (whose snapshots are
+//! recorded with *no* plan and must stay untouched by this subsystem)
+//! this pins both sides of the empty-plan contract: an empty plan
+//! changes nothing, the canonical plan changes exactly the recorded
+//! numbers.
+//!
+//! Re-record after an intentional change with:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test fault_golden
+//! ```
+
+use std::path::PathBuf;
+
+use cedar::core::{Experiment, SimConfig};
+use cedar::faults::FaultPlan;
+use cedar::hw::Configuration;
+use cedar::report::{golden, tables};
+
+/// Must match `GOLDEN_SHRINK` in `tests/golden.rs`.
+const GOLDEN_SHRINK: u32 = 16;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+#[test]
+fn fault_report_matches_golden() {
+    let app = cedar::apps::perfect_suite()
+        .into_iter()
+        .find(|a| a.name == "FLO52")
+        .expect("FLO52 in the perfect suite")
+        .shrunk(GOLDEN_SHRINK);
+    let cfg = SimConfig::cedar(Configuration::P8);
+    let base = Experiment::new(app.clone(), cfg.clone()).run();
+    let faulted = Experiment::new(app, cfg.with_faults(FaultPlan::canonical())).run();
+    golden::assert_matches(
+        &golden_path("fault_report"),
+        &tables::fault_report(&base, &faulted),
+    );
+}
