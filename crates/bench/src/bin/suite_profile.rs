@@ -1,0 +1,51 @@
+//! Where does the mini-campaign's wall-clock go?
+//!
+//! Runs the same reduced-scale campaign as the `suite/mini_campaign`
+//! benchmark once and prints the suite's own telemetry split — machine
+//! construction vs. event loop vs. result assembly vs. pool overhead —
+//! plus the per-event cost. Use it to decide *what* to optimize before
+//! reaching for the microbenchmarks: if `run` dominates, work on the
+//! event hot path; if `setup`/`breakdown` dominate, the simulator loop
+//! is not the problem.
+//!
+//! ```text
+//! cargo run --release -p cedar-bench --bin suite_profile
+//! ```
+
+use cedar_apps::perfect_suite;
+use cedar_core::suite::SuiteResult;
+use cedar_hw::Configuration;
+
+fn main() {
+    let apps: Vec<_> = perfect_suite().into_iter().map(|a| a.shrunk(24)).collect();
+    let configs = [Configuration::P1, Configuration::P8, Configuration::P32];
+    let suite = SuiteResult::measure(&apps, &configs, cedar_bench::run_options());
+    let t = &suite.telemetry;
+    let events = t.events_total();
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!("mini campaign: {} runs, {events} events", apps.len() * configs.len());
+    println!("  setup     {:>9.2} ms", ms(t.setup_ns));
+    println!("  run       {:>9.2} ms", ms(t.run_ns));
+    println!("  breakdown {:>9.2} ms", ms(t.breakdown_ns));
+    println!(
+        "  wall      {:>9.2} ms (pool overhead {:.2} ms)",
+        ms(t.wall_ns),
+        ms(t.wall_ns
+            .saturating_sub(t.setup_ns + t.run_ns + t.breakdown_ns)),
+    );
+    if events > 0 {
+        println!("  event loop: {:.1} ns/event", t.run_ns as f64 / events as f64);
+    }
+    println!("hot-path counters:");
+    for name in [
+        "queue.scheduled",
+        "queue.popped",
+        "queue.overflow_spills",
+        "queue.pending.peak",
+        "queue.wheel.peak",
+        "outbox.emitted",
+        "events.gmem",
+    ] {
+        println!("  {name:<24} {}", t.counters.get(name));
+    }
+}

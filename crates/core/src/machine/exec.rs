@@ -1,6 +1,8 @@
 //! Loop-protocol execution: phase sequencing, SDOALL/CDOALL and XDOALL
 //! orchestration, body execution and the finish barrier.
 
+use std::sync::Arc;
+
 use cedar_apps::{AccessPattern, BodySpec};
 use cedar_hw::addr::pages_touched;
 use cedar_hw::{MemOp, VectorAccess};
@@ -26,7 +28,7 @@ pub struct PostedLoop {
     pub(crate) seq: u32,
     pub(crate) outer: u32,
     pub(crate) inner: u32,
-    pub(crate) body: BodySpec,
+    pub(crate) body: Arc<BodySpec>,
 }
 
 impl Machine {
@@ -75,8 +77,21 @@ impl Machine {
         let lead = 0;
         let idx = self.phase_idx;
         self.phase_idx += 1;
-        let phase = match self.program.phase(idx) {
-            Some(p) => p.clone(),
+        // Copy the phase's scalars (and the shared body handle) out so
+        // the program borrow ends before the protocol mutates `self`.
+        enum Next {
+            Serial(Cycles),
+            Loop(LoopKind, u32, u32, Arc<BodySpec>, Cycles),
+        }
+        let next = match self.program.phase(idx) {
+            Some(CompiledPhase::Serial { work, .. }) => Next::Serial(*work),
+            Some(CompiledPhase::Loop {
+                kind,
+                outer,
+                inner,
+                body,
+                serial_region,
+            }) => Next::Loop(*kind, *outer, *inner, body.clone(), *serial_region),
             None => {
                 // Program over: signal the helpers and stop.
                 self.loop_seq += 1;
@@ -87,20 +102,13 @@ impl Machine {
                 return;
             }
         };
-        match phase {
-            CompiledPhase::Serial { work, accesses } => {
+        match next {
+            Next::Serial(work) => {
                 self.post(TraceEventId::SerialStart, lead, 0);
-                let _ = accesses; // consumed again at completion via program
                 self.set_mode(lead, CeMode::SerialCompute);
                 self.start_compute(lead, work);
             }
-            CompiledPhase::Loop {
-                kind,
-                outer,
-                inner,
-                body,
-                serial_region,
-            } => {
+            Next::Loop(kind, outer, inner, body, serial_region) => {
                 self.loop_seq += 1;
                 let posted = PostedLoop {
                     kind,
@@ -151,28 +159,28 @@ impl Machine {
         let mode = self.ces[pos].mode;
         match mode {
             CeMode::Idle | CeMode::Stopped => {}
-            CeMode::SerialCompute => {
-                let accesses = self.current_serial_accesses();
-                if accesses.is_empty() {
+            CeMode::SerialCompute => match self.serial_access(0) {
+                None => {
                     self.post(TraceEventId::SerialEnd, pos, 0);
                     self.next_phase();
-                } else {
+                }
+                Some(a) => {
                     self.set_mode(pos, CeMode::SerialAccess { idx: 0 });
                     self.serial_counter += 1;
-                    let a = accesses[0];
                     self.start_access(pos, &a, self.serial_counter);
                 }
-            }
+            },
             CeMode::SerialAccess { idx } => {
-                let accesses = self.current_serial_accesses();
                 let next = idx + 1;
-                if next < accesses.len() {
-                    self.set_mode(pos, CeMode::SerialAccess { idx: next });
-                    let a = accesses[next];
-                    self.start_access(pos, &a, self.serial_counter);
-                } else {
-                    self.post(TraceEventId::SerialEnd, pos, 0);
-                    self.next_phase();
+                match self.serial_access(next) {
+                    Some(a) => {
+                        self.set_mode(pos, CeMode::SerialAccess { idx: next });
+                        self.start_access(pos, &a, self.serial_counter);
+                    }
+                    None => {
+                        self.post(TraceEventId::SerialEnd, pos, 0);
+                        self.next_phase();
+                    }
                 }
             }
             CeMode::SetupWrite { step } => self.advance_setup(pos, step),
@@ -541,7 +549,7 @@ impl Machine {
             // Body complete.
             let kind = self.tasks[cluster].cur.as_ref().unwrap().kind;
             self.post(TraceEventId::IterEnd, pos, kind.code());
-            self.bodies_executed += 1;
+            self.scratch.bump(super::SCRATCH_BODIES);
             match kind {
                 LoopKind::Doacross => {
                     // Enter the serialized region in iteration order.
@@ -635,10 +643,12 @@ impl Machine {
         self.start_delayed_word(pos, wi.after, wi.addr, wi.op);
     }
 
-    fn current_serial_accesses(&self) -> Vec<AccessPattern> {
+    /// The current serial phase's `idx`-th access, if any (by-value: the
+    /// pattern is `Copy`, so the serial walk never clones the vector).
+    fn serial_access(&self, idx: usize) -> Option<AccessPattern> {
         match self.program.phase(self.phase_idx - 1) {
-            Some(CompiledPhase::Serial { accesses, .. }) => accesses.clone(),
-            _ => Vec::new(),
+            Some(CompiledPhase::Serial { accesses, .. }) => accesses.get(idx).copied(),
+            _ => None,
         }
     }
 

@@ -13,13 +13,11 @@ pub mod state;
 #[cfg(test)]
 mod tests;
 
-use std::collections::HashMap;
-
 use cedar_apps::AppSpec;
 use cedar_hw::cbus::CbusBarrier;
 use cedar_hw::ce::{Activity, CeEngine};
 use cedar_hw::{
-    CeId, ClusterId, GlobalAddr, GlobalMemorySystem, GmemEvent, MemOp, RequestId, VectorAccess,
+    CeId, ClusterId, GlobalAddr, GlobalMemorySystem, GmemEvent, MemOp, VectorAccess,
 };
 use cedar_rtl::{FinishBarrier, WorkWaiter};
 use cedar_sim::{Cycles, EventQueue, Outbox, SimTime, SplitMix64};
@@ -32,6 +30,28 @@ use crate::layout::MemoryLayout;
 use crate::program::CompiledProgram;
 use crate::result::RunResult;
 use state::{Ce, CeMode, Role, Task};
+
+/// Scratch slot of the `events.total` tally.
+pub(crate) const SCRATCH_EVENTS_TOTAL: usize = 0;
+/// First scratch slot of the per-class event tallies.
+pub(crate) const SCRATCH_EV_CLASS0: usize = 1;
+/// Scratch slot of the loop-bodies tally.
+pub(crate) const SCRATCH_BODIES: usize = SCRATCH_EV_CLASS0 + crate::events::EV_CLASS_NAMES.len();
+/// Slots in the machine's scratch-counter block.
+pub(crate) const SCRATCH_SLOTS: usize = SCRATCH_BODIES + 1;
+
+/// Flush names of the machine's scratch block, slot by slot.
+const fn scratch_names() -> [&'static str; SCRATCH_SLOTS] {
+    let mut names = [""; SCRATCH_SLOTS];
+    names[SCRATCH_EVENTS_TOTAL] = "events.total";
+    let mut i = 0;
+    while i < crate::events::EV_CLASS_NAMES.len() {
+        names[SCRATCH_EV_CLASS0 + i] = crate::events::EV_CLASS_NAMES[i];
+        i += 1;
+    }
+    names[SCRATCH_BODIES] = "bodies";
+    names
+}
 
 /// The complete simulated machine for one run.
 pub struct Machine {
@@ -65,7 +85,15 @@ pub struct Machine {
     /// Cycles injected so far, per attribution surface.
     pub(crate) injected: faults::InjectedCost,
     pub(crate) rng: SplitMix64,
-    pub(crate) req_owner: HashMap<RequestId, usize>,
+    /// Outstanding global-memory requests per CE position. A CE's
+    /// activity completes only when every response has arrived, and a
+    /// new activity begins only after that — so every in-flight request
+    /// of a CE belongs to its current activity, and a plain count is
+    /// exactly equivalent to the per-request owner map it replaces,
+    /// without a hash insert/remove per memory packet.
+    pub(crate) outstanding: Vec<u32>,
+    /// CE position by raw `CeId`, for routing memory responses.
+    pub(crate) pos_of_ce: Vec<usize>,
     pub(crate) joined_truth: i32,
     pub(crate) now: SimTime,
     pub(crate) finished_at: Option<SimTime>,
@@ -73,9 +101,9 @@ pub struct Machine {
     pub(crate) posted: Option<exec::PostedLoop>,
     pub(crate) phase_idx: usize,
     pub(crate) serial_counter: u64,
-    pub(crate) bodies_executed: u64,
-    pub(crate) events_processed: u64,
-    pub(crate) ev_class_counts: [u64; crate::events::EV_CLASS_NAMES.len()],
+    /// Batched per-event tallies (event total, per-class counts, loop
+    /// bodies), flushed into the counter rollup once at end of run.
+    pub(crate) scratch: cedar_obs::ScratchCounters<SCRATCH_SLOTS>,
     pub(crate) breakdowns: Vec<cedar_trace::TaskBreakdown>,
 }
 
@@ -105,10 +133,24 @@ impl Machine {
             vm.premap(a.page(cfg.os.page_bytes));
         }
 
-        let ces = configuration
+        let ces: Vec<Ce> = configuration
             .ces()
             .map(|id| Ce::new(CeEngine::new(id)))
             .collect();
+        let mut pos_of_ce = Vec::new();
+        for (pos, ce) in ces.iter().enumerate() {
+            let raw = ce.engine.id().0 as usize;
+            if raw >= pos_of_ce.len() {
+                pos_of_ce.resize(raw + 1, usize::MAX);
+            }
+            pos_of_ce[raw] = pos;
+        }
+        let outstanding = vec![0u32; ces.len()];
+
+        // The hpm trace buffer only matters when the run keeps a trace;
+        // gating it here makes the per-event post() a no-op otherwise.
+        let mut hpm = HpmMonitor::new();
+        hpm.set_enabled(cfg.keep_trace);
 
         let tasks = (0..n_clusters)
             .map(|c| Task {
@@ -163,7 +205,7 @@ impl Machine {
             os_acct: OsAccounting::new(n_clusters as u8),
             qmon: QMonitor::new(n_clusters as u8),
             statfx: Statfx::new(n_clusters as u8, per),
-            hpm: HpmMonitor::new(),
+            hpm,
             cluster_locks: (0..n_clusters).map(|_| KernelLock::new()).collect(),
             global_lock: KernelLock::new(),
             daemons,
@@ -173,7 +215,8 @@ impl Machine {
             fault_driver,
             injected: faults::InjectedCost::default(),
             rng,
-            req_owner: HashMap::new(),
+            outstanding,
+            pos_of_ce,
             joined_truth: 0,
             now: Cycles::ZERO,
             finished_at: None,
@@ -181,9 +224,7 @@ impl Machine {
             posted: None,
             phase_idx: 0,
             serial_counter: 0,
-            bodies_executed: 0,
-            events_processed: 0,
-            ev_class_counts: [0; crate::events::EV_CLASS_NAMES.len()],
+            scratch: cedar_obs::ScratchCounters::new(scratch_names()),
             breakdowns: (0..n_clusters)
                 .map(|_| cedar_trace::TaskBreakdown::new())
                 .collect(),
@@ -327,10 +368,9 @@ impl Machine {
             .engine
             .begin(&Activity::Word { addr, op }, self.now);
         let ce_id = self.ce_id(pos);
-        let id = self
-            .gmem
+        self.gmem
             .inject(ce_id, addr, op, self.now, &mut self.gmem_out);
-        self.req_owner.insert(id, pos);
+        self.outstanding[pos] += 1;
         self.gmem_out
             .flush_map_into(self.now, &mut self.queue, Ev::Gmem);
     }
@@ -343,10 +383,9 @@ impl Machine {
             .begin(&Activity::Vector(*access), self.now);
         let ce_id = self.ce_id(pos);
         for (k, addr) in access.addresses().enumerate() {
-            let id = self
-                .gmem
+            self.gmem
                 .inject(ce_id, addr, access.op, self.now, &mut self.gmem_out);
-            self.req_owner.insert(id, pos);
+            self.outstanding[pos] += 1;
             // Re-anchor this word's events k cycles later (issue pipeline).
             self.gmem_out
                 .flush_map_into(self.now + Cycles(k as u64), &mut self.queue, Ev::Gmem);
@@ -391,13 +430,13 @@ impl Machine {
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
-            self.events_processed += 1;
+            self.scratch.bump(SCRATCH_EVENTS_TOTAL);
             assert!(
-                self.events_processed <= self.cfg.max_events,
+                self.scratch.get(SCRATCH_EVENTS_TOTAL) <= self.cfg.max_events,
                 "event bound exceeded at {} — likely deadlock or runaway workload",
                 self.now
             );
-            self.ev_class_counts[ev.class()] += 1;
+            self.scratch.bump(SCRATCH_EV_CLASS0 + ev.class());
             self.dispatch(ev);
             if self.all_stopped() {
                 break;
@@ -445,10 +484,11 @@ impl Machine {
     }
 
     fn on_response(&mut self, resp: cedar_hw::MemResponse) {
-        let pos = match self.req_owner.remove(&resp.id) {
-            Some(p) => p,
-            None => return, // response for a stopped task's stray request
+        let pos = match self.pos_of_ce.get(resp.ce.0 as usize) {
+            Some(&p) if p != usize::MAX && self.outstanding[p] > 0 => p,
+            _ => return, // response for a stopped task's stray request
         };
+        self.outstanding[pos] -= 1;
         if self.ces[pos].engine.on_response(resp.value) {
             self.on_activity_complete(pos, resp.value);
         }
@@ -517,13 +557,9 @@ impl Machine {
             "queue.hold.p2_15",
         ];
         let mut c = cedar_obs::Counters::new();
-        c.add("events.total", self.events_processed);
-        for (name, &count) in crate::events::EV_CLASS_NAMES
-            .iter()
-            .zip(&self.ev_class_counts)
-        {
-            c.add(name, count);
-        }
+        // One batched flush covers events.total, the per-class event
+        // counts and the bodies tally.
+        self.scratch.flush_into(&mut c);
         let q = self.queue.stats();
         c.add("queue.scheduled", q.scheduled);
         c.add("queue.popped", q.popped);
@@ -540,7 +576,6 @@ impl Machine {
         c.add("outbox.flushes", o.flushes);
         c.add("outbox.grows", o.grows);
         c.record_max("outbox.buffered.peak", o.peak_buffered);
-        c.add("bodies", self.bodies_executed);
         // Fault-campaign counters only exist when a plan is armed, so an
         // empty plan leaves the rollup byte-identical to the pre-faults
         // machine.
@@ -595,9 +630,9 @@ impl Machine {
             concurrency,
             gmem: self.gmem.stats(),
             background_stolen: self.background_stolen,
-            bodies: self.bodies_executed,
+            bodies: self.scratch.get(SCRATCH_BODIES),
             faults: (self.vm.seq_faults(), self.vm.conc_faults()),
-            events: self.events_processed,
+            events: self.scratch.get(SCRATCH_EVENTS_TOTAL),
             trace: if self.cfg.keep_trace {
                 Some(self.hpm.into_events())
             } else {

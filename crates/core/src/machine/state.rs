@@ -1,5 +1,7 @@
 //! Per-CE and per-task runtime state.
 
+use std::sync::Arc;
+
 use cedar_apps::BodySpec;
 use cedar_hw::cbus::CbusBarrier;
 use cedar_hw::ce::CeEngine;
@@ -146,8 +148,8 @@ pub struct LoopCtx {
     /// Inner iterations per outer (1 for flat/cluster handled as inner
     /// loop of the single outer? No — cluster loops use `outer_total=1`).
     pub inner_total: u32,
-    /// Per-iteration work.
-    pub body: BodySpec,
+    /// Per-iteration work (shared handle; never deep-copied on entry).
+    pub body: Arc<BodySpec>,
     /// DOACROSS: serialized-region work per iteration (zero otherwise).
     pub serial_region: Cycles,
     /// Next inner iteration to hand out (intra-cluster self-scheduling).

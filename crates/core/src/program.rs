@@ -1,6 +1,8 @@
 //! Compilation of an [`AppSpec`] into the flat phase list the machine
 //! executes.
 
+use std::sync::Arc;
+
 use cedar_apps::{AppSpec, BodySpec, Phase};
 use cedar_rtl::LoopKind;
 use cedar_sim::Cycles;
@@ -24,8 +26,10 @@ pub enum CompiledPhase {
         /// Inner iterations per outer iteration (1 for flat and cluster
         /// loops).
         inner: u32,
-        /// Per-(inner-)iteration work.
-        body: BodySpec,
+        /// Per-(inner-)iteration work, shared with every task context
+        /// that enters the loop (cluster entry clones a handle, not the
+        /// access vector).
+        body: Arc<BodySpec>,
         /// DOACROSS only: serialized-region work per iteration.
         serial_region: Cycles,
     },
@@ -64,21 +68,21 @@ impl CompiledProgram {
                     kind: LoopKind::Cluster,
                     outer: 1,
                     inner: iters,
-                    body,
+                    body: Arc::new(body),
                     serial_region: Cycles::ZERO,
                 },
                 Phase::Sdoall { outer, inner, body } => CompiledPhase::Loop {
                     kind: LoopKind::Sdoall,
                     outer,
                     inner,
-                    body,
+                    body: Arc::new(body),
                     serial_region: Cycles::ZERO,
                 },
                 Phase::Xdoall { iters, body } => CompiledPhase::Loop {
                     kind: LoopKind::Xdoall,
                     outer: iters,
                     inner: 1,
-                    body,
+                    body: Arc::new(body),
                     serial_region: Cycles::ZERO,
                 },
                 Phase::Doacross {
@@ -89,7 +93,7 @@ impl CompiledProgram {
                     kind: LoopKind::Doacross,
                     outer: 1,
                     inner: iters,
-                    body,
+                    body: Arc::new(body),
                     serial_region,
                 },
                 Phase::Repeat { .. } => unreachable!("flattened() removes repeats"),

@@ -33,7 +33,16 @@ impl GlobalAddr {
     /// Panics if `n_modules` is zero.
     pub fn module(self, n_modules: u16) -> ModuleId {
         assert!(n_modules > 0, "memory must have at least one module");
-        ModuleId(((self.0 / DWORD_BYTES) % n_modules as u64) as u16)
+        let dword = self.0 / DWORD_BYTES;
+        let n = n_modules as u64;
+        // Every real module count is a power of two; mask instead of
+        // paying a 64-bit division on each injected request.
+        let m = if n.is_power_of_two() {
+            dword & (n - 1)
+        } else {
+            dword % n
+        };
+        ModuleId(m as u16)
     }
 
     /// The double-word index of this address (used as the key for lock and
@@ -84,25 +93,27 @@ impl fmt::Display for PageId {
 /// Iterator over the distinct pages touched by a strided access of
 /// `words` double-words starting at `base` with a stride of
 /// `stride_dwords` double-words.
+///
+/// Allocation-free: addresses are non-decreasing (strides are
+/// non-negative), so the page sequence is non-decreasing and dropping
+/// adjacent repeats is a full dedup. Called once per vector access on
+/// the machine's hot path.
 pub fn pages_touched(
     base: GlobalAddr,
     words: u32,
     stride_dwords: u64,
     page_bytes: u64,
-) -> Vec<PageId> {
-    let mut pages = Vec::new();
+) -> impl Iterator<Item = PageId> {
     let mut last: Option<PageId> = None;
-    for k in 0..words as u64 {
-        let a = base.offset(k * stride_dwords * DWORD_BYTES);
-        let p = a.page(page_bytes);
-        if last != Some(p) {
-            if !pages.contains(&p) {
-                pages.push(p);
-            }
+    (0..words as u64).filter_map(move |k| {
+        let p = base.offset(k * stride_dwords * DWORD_BYTES).page(page_bytes);
+        if last == Some(p) {
+            None
+        } else {
             last = Some(p);
+            Some(p)
         }
-    }
-    pages
+    })
 }
 
 #[cfg(test)]
@@ -137,20 +148,19 @@ mod tests {
     #[test]
     fn pages_touched_unit_stride() {
         // 1024 dwords from 0 = 8 KiB = two 4 KiB pages.
-        let pages = pages_touched(GlobalAddr(0), 1024, 1, 4096);
+        let pages: Vec<PageId> = pages_touched(GlobalAddr(0), 1024, 1, 4096).collect();
         assert_eq!(pages, vec![PageId(0), PageId(1)]);
     }
 
     #[test]
     fn pages_touched_large_stride_skips_pages() {
         // Stride of 512 dwords = 4 KiB: each word lands on a new page.
-        let pages = pages_touched(GlobalAddr(0), 4, 512, 4096);
-        assert_eq!(pages.len(), 4);
+        assert_eq!(pages_touched(GlobalAddr(0), 4, 512, 4096).count(), 4);
     }
 
     #[test]
     fn pages_touched_dedups_revisits() {
-        let pages = pages_touched(GlobalAddr(0), 16, 1, 4096);
+        let pages: Vec<PageId> = pages_touched(GlobalAddr(0), 16, 1, 4096).collect();
         assert_eq!(pages, vec![PageId(0)]);
     }
 

@@ -4,7 +4,7 @@
 use cedar_sim::stats::LatencyHistogram;
 use cedar_sim::{Cycles, Outbox, SimTime};
 
-use crate::switch::PortServer;
+use crate::switch::PortBank;
 
 use crate::addr::GlobalAddr;
 use crate::config::NetConfig;
@@ -89,7 +89,7 @@ pub struct GlobalMemorySystem {
     reverse: DeltaNet,
     modules: Vec<MemoryModule>,
     /// Shared per-cluster injection paths (round-robin over the ports).
-    cluster_paths: Vec<Vec<PortServer>>,
+    cluster_paths: Vec<PortBank>,
     cluster_rr: Vec<usize>,
     next_request: u64,
     latency: LatencyHistogram,
@@ -107,11 +107,7 @@ impl GlobalMemorySystem {
             reverse: DeltaNet::new(&cfg),
             modules,
             cluster_paths: (0..n_clusters)
-                .map(|_| {
-                    (0..cfg.cluster_inject_ports)
-                        .map(|_| PortServer::new())
-                        .collect()
-                })
+                .map(|_| PortBank::new(cfg.cluster_inject_ports as usize))
                 .collect(),
             cluster_rr: vec![0; n_clusters],
             next_request: 0,
@@ -155,10 +151,22 @@ impl GlobalMemorySystem {
         // The cluster's shared path to its Global Interfaces serializes
         // the cluster's aggregate issue stream.
         let path_delay = if self.cfg.cluster_inject_ports > 0 {
-            let cluster = (ce.0 / 8) as usize % self.cluster_paths.len();
+            let ports = self.cfg.cluster_inject_ports as usize;
+            let cluster = {
+                // Per-packet path: avoid the division when the cluster id
+                // is already in range (always, for machine-built configs).
+                let c = (ce.0 / 8) as usize;
+                let n = self.cluster_paths.len();
+                if c < n {
+                    c
+                } else {
+                    c % n
+                }
+            };
             let rr = self.cluster_rr[cluster];
-            self.cluster_rr[cluster] = (rr + 1) % self.cfg.cluster_inject_ports as usize;
-            let through = self.cluster_paths[cluster][rr].accept(now, Cycles(1));
+            debug_assert!(rr < ports, "round-robin cursor out of range");
+            self.cluster_rr[cluster] = if rr + 1 == ports { 0 } else { rr + 1 };
+            let through = self.cluster_paths[cluster].get_mut(rr).accept(now, Cycles(1));
             through - now
         } else {
             Cycles::ZERO
@@ -226,20 +234,33 @@ impl GlobalMemorySystem {
     /// CE global ids already match the 32-endpoint numbering: each CE has
     /// its own Global Interface into the network (§2).
     fn fwd_src(&self, ce: CeId) -> u16 {
-        ce.0 % self.forward.geometry().endpoints()
+        let n = self.forward.geometry().endpoints();
+        // CE ids already fit the endpoint numbering on machine-built
+        // configs; the wrap is a correctness fallback, not the hot case,
+        // so dodge the per-hop hardware division.
+        if ce.0 < n {
+            ce.0
+        } else {
+            ce.0 % n
+        }
     }
 
     /// Maps a CE to its reverse-network output endpoint.
     fn rev_dst(&self, ce: CeId) -> u16 {
-        ce.0 % self.reverse.geometry().endpoints()
+        let n = self.reverse.geometry().endpoints();
+        if ce.0 < n {
+            ce.0
+        } else {
+            ce.0 % n
+        }
     }
 
     /// Total queueing delay at the shared per-cluster injection paths.
     pub fn cluster_path_queued(&self) -> Cycles {
         self.cluster_paths
             .iter()
-            .flatten()
-            .map(PortServer::queued)
+            .flat_map(PortBank::iter)
+            .map(crate::switch::PortServer::queued)
             .sum()
     }
 

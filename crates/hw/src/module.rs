@@ -1,10 +1,61 @@
 //! A global-memory module: FCFS server with atomic synchronization ops.
 
-use std::collections::HashMap;
-
 use cedar_sim::{Cycles, SimTime};
 
 use crate::packet::MemOp;
+
+/// Written words a module keeps inline before spilling to the heap.
+const INLINE_WORDS: usize = 4;
+
+/// Sparse word storage sized for reality: only synchronization words
+/// (locks, flags, tickets, join counters) are ever *written*, and the
+/// mod-`n` interleave spreads those across modules, so a module holds
+/// zero to two written words in steady state. A fixed inline array keeps
+/// the hot `Read` path (probe, miss, return 0) allocation-free and
+/// cache-resident; anything past the inline bound spills to a vector.
+#[derive(Debug, Clone, Default)]
+struct WordStore {
+    inline: [(u64, u64); INLINE_WORDS],
+    inline_len: usize,
+    spill: Vec<(u64, u64)>,
+}
+
+impl WordStore {
+    fn get(&self, dword: u64) -> u64 {
+        for &(k, v) in &self.inline[..self.inline_len] {
+            if k == dword {
+                return v;
+            }
+        }
+        for &(k, v) in &self.spill {
+            if k == dword {
+                return v;
+            }
+        }
+        0
+    }
+
+    fn set(&mut self, dword: u64, value: u64) {
+        for entry in &mut self.inline[..self.inline_len] {
+            if entry.0 == dword {
+                entry.1 = value;
+                return;
+            }
+        }
+        for entry in &mut self.spill {
+            if entry.0 == dword {
+                entry.1 = value;
+                return;
+            }
+        }
+        if self.inline_len < INLINE_WORDS {
+            self.inline[self.inline_len] = (dword, value);
+            self.inline_len += 1;
+        } else {
+            self.spill.push((dword, value));
+        }
+    }
+}
 
 /// One of the 32 independent global-memory modules.
 ///
@@ -17,7 +68,7 @@ pub struct MemoryModule {
     service: Cycles,
     access: Cycles,
     free_at: SimTime,
-    words: HashMap<u64, u64>,
+    words: WordStore,
     requests: u64,
     sync_requests: u64,
     busy: Cycles,
@@ -32,7 +83,7 @@ impl MemoryModule {
             service,
             access,
             free_at: Cycles::ZERO,
-            words: HashMap::new(),
+            words: WordStore::default(),
             requests: 0,
             sync_requests: 0,
             busy: Cycles::ZERO,
@@ -58,23 +109,23 @@ impl MemoryModule {
 
     fn apply(&mut self, dword: u64, op: MemOp) -> u64 {
         match op {
-            MemOp::Read => self.words.get(&dword).copied().unwrap_or(0),
+            MemOp::Read => self.words.get(dword),
             MemOp::Write(v) => {
-                self.words.insert(dword, v);
+                self.words.set(dword, v);
                 0
             }
             MemOp::TestAndSet => {
-                let old = self.words.get(&dword).copied().unwrap_or(0);
-                self.words.insert(dword, 1);
+                let old = self.words.get(dword);
+                self.words.set(dword, 1);
                 old
             }
             MemOp::Unset => {
-                self.words.insert(dword, 0);
+                self.words.set(dword, 0);
                 0
             }
             MemOp::FetchAdd(d) => {
-                let old = self.words.get(&dword).copied().unwrap_or(0);
-                self.words.insert(dword, old.wrapping_add_signed(d));
+                let old = self.words.get(dword);
+                self.words.set(dword, old.wrapping_add_signed(d));
                 old
             }
         }
@@ -83,7 +134,7 @@ impl MemoryModule {
     /// Peeks at a stored word without consuming module time (test and
     /// debugging aid; not reachable from simulated CEs).
     pub fn peek(&self, dword: u64) -> u64 {
-        self.words.get(&dword).copied().unwrap_or(0)
+        self.words.get(dword)
     }
 
     /// Requests served so far.
@@ -175,6 +226,21 @@ mod tests {
         assert_eq!(m.requests(), 3);
         assert_eq!(m.sync_requests(), 2);
         assert_eq!(m.busy(), Cycles(12));
+    }
+
+    #[test]
+    fn word_store_spills_past_inline_bound() {
+        let mut m = module();
+        let n = INLINE_WORDS as u64 + 3;
+        for d in 0..n {
+            m.serve(d, MemOp::Write(d + 100), Cycles(d * 20));
+        }
+        for d in 0..n {
+            assert_eq!(m.peek(d), d + 100, "word {d} survives the spill");
+        }
+        m.serve(0, MemOp::Write(7), Cycles(1_000)); // inline update
+        m.serve(n - 1, MemOp::Write(9), Cycles(1_100)); // spill update
+        assert_eq!((m.peek(0), m.peek(n - 1)), (7, 9));
     }
 
     #[test]

@@ -23,6 +23,29 @@
 pub struct DeltaGeometry {
     endpoints: u16,
     radix: u16,
+    /// `endpoints / radix`, precomputed: switches per stage.
+    groups: u16,
+    /// `radix / groups`, precomputed: parallel links per switch pair.
+    links: u16,
+    /// `log2(radix)` when the radix is a power of two, else [`NO_SHIFT`].
+    /// Routing runs once per packet per stage, so the port math must not
+    /// pay for hardware division on the geometries the machine actually
+    /// builds (all power-of-two); non-power-of-two geometries take the
+    /// exact div/mod slow path.
+    radix_shift: u8,
+    /// `log2(links)` when the link count is a power of two, else [`NO_SHIFT`].
+    links_shift: u8,
+}
+
+/// Sentinel for "not a power of two — use real division".
+const NO_SHIFT: u8 = u8::MAX;
+
+fn shift_of(n: u16) -> u8 {
+    if n.is_power_of_two() {
+        n.trailing_zeros() as u8
+    } else {
+        NO_SHIFT
+    }
 }
 
 impl DeltaGeometry {
@@ -49,7 +72,15 @@ impl DeltaGeometry {
             radix.is_multiple_of(groups),
             "groups {groups} must divide radix {radix} for uniform parallel links"
         );
-        DeltaGeometry { endpoints, radix }
+        let links = radix / groups;
+        DeltaGeometry {
+            endpoints,
+            radix,
+            groups,
+            links,
+            radix_shift: shift_of(radix),
+            links_shift: shift_of(links),
+        }
     }
 
     /// The Cedar geometry: 32 endpoints, 8×8 switches.
@@ -69,40 +100,69 @@ impl DeltaGeometry {
 
     /// Switches in each stage.
     pub fn switches_per_stage(&self) -> u16 {
-        self.endpoints / self.radix
+        self.groups
     }
 
     /// Parallel links between each (stage-1, stage-2) switch pair.
     pub fn parallel_links(&self) -> u16 {
-        self.radix / self.switches_per_stage()
+        self.links
+    }
+
+    /// `x / radix`, taking the shift fast path on power-of-two radices.
+    #[inline]
+    fn div_radix(&self, x: u16) -> u16 {
+        if self.radix_shift != NO_SHIFT {
+            x >> self.radix_shift
+        } else {
+            x / self.radix
+        }
+    }
+
+    /// `x % radix`, taking the mask fast path on power-of-two radices.
+    #[inline]
+    fn mod_radix(&self, x: u16) -> u16 {
+        if self.radix_shift != NO_SHIFT {
+            x & (self.radix - 1)
+        } else {
+            x % self.radix
+        }
+    }
+
+    /// `x % links`, taking the mask fast path on power-of-two link counts.
+    #[inline]
+    fn mod_links(&self, x: u16) -> u16 {
+        if self.links_shift != NO_SHIFT {
+            x & (self.links - 1)
+        } else {
+            x % self.links
+        }
     }
 
     /// The stage-1 switch that input endpoint `src` attaches to.
     pub fn stage1_switch(&self, src: u16) -> u16 {
         debug_assert!(src < self.endpoints);
-        src / self.radix
+        self.div_radix(src)
     }
 
     /// The stage-1 output port used to reach output endpoint `dst`
     /// (selects among the parallel links by destination parity).
     pub fn stage1_port(&self, dst: u16) -> u16 {
         debug_assert!(dst < self.endpoints);
-        let groups = self.switches_per_stage();
-        let target = dst / self.radix;
-        let link = dst % self.parallel_links();
-        target + groups * link
+        let target = self.div_radix(dst);
+        let link = self.mod_links(dst);
+        target + self.groups * link
     }
 
     /// The stage-2 switch serving output endpoint `dst`.
     pub fn stage2_switch(&self, dst: u16) -> u16 {
         debug_assert!(dst < self.endpoints);
-        dst / self.radix
+        self.div_radix(dst)
     }
 
     /// The stage-2 output port delivering to endpoint `dst`.
     pub fn stage2_port(&self, dst: u16) -> u16 {
         debug_assert!(dst < self.endpoints);
-        dst % self.radix
+        self.mod_radix(dst)
     }
 }
 

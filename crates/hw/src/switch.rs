@@ -63,11 +63,80 @@ impl PortServer {
     }
 }
 
+/// Ports a [`PortBank`] stores inline before spilling to the heap.
+/// Cedar's switches are 8×8 (§2), so the standard machine never spills.
+pub const INLINE_PORTS: usize = 8;
+
+/// A fixed-capacity inline bank of FCFS ports.
+///
+/// The first [`INLINE_PORTS`] ports live directly in the bank (no
+/// pointer chase on the packet hot path — the whole bank of
+/// `free_at`/counter scalars sits in two cache lines); configurations
+/// wider than the inline bound spill the remainder to a vector.
+#[derive(Debug, Clone)]
+pub struct PortBank {
+    inline: [PortServer; INLINE_PORTS],
+    inline_len: usize,
+    spill: Vec<PortServer>,
+}
+
+impl PortBank {
+    /// Creates a bank of `ports` idle ports.
+    pub fn new(ports: usize) -> Self {
+        PortBank {
+            inline: Default::default(),
+            inline_len: ports.min(INLINE_PORTS),
+            spill: vec![PortServer::new(); ports.saturating_sub(INLINE_PORTS)],
+        }
+    }
+
+    /// Number of ports in the bank.
+    pub fn len(&self) -> usize {
+        self.inline_len + self.spill.len()
+    }
+
+    /// `true` when the bank has no ports.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> &PortServer {
+        if i < self.inline_len {
+            &self.inline[i]
+        } else {
+            &self.spill[i - self.inline_len]
+        }
+    }
+
+    /// The `i`-th port, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get_mut(&mut self, i: usize) -> &mut PortServer {
+        if i < self.inline_len {
+            &mut self.inline[i]
+        } else {
+            &mut self.spill[i - self.inline_len]
+        }
+    }
+
+    /// Iterates the bank's ports in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &PortServer> {
+        self.inline[..self.inline_len].iter().chain(self.spill.iter())
+    }
+}
+
 /// An `radix`-output crossbar switch (inputs need no modelling: an ideal
 /// crossbar only conflicts at outputs).
 #[derive(Debug, Clone)]
 pub struct Crossbar {
-    ports: Vec<PortServer>,
+    ports: PortBank,
     latency: Cycles,
     occupancy: Cycles,
 }
@@ -76,7 +145,7 @@ impl Crossbar {
     /// Creates a switch with `radix` output ports.
     pub fn new(radix: u16, latency: Cycles, occupancy: Cycles) -> Self {
         Crossbar {
-            ports: (0..radix).map(|_| PortServer::new()).collect(),
+            ports: PortBank::new(radix as usize),
             latency,
             occupancy,
         }
@@ -89,7 +158,7 @@ impl Crossbar {
     ///
     /// Panics if `port` is out of range.
     pub fn transit(&mut self, port: u16, now: SimTime) -> SimTime {
-        let served_by = self.ports[port as usize].accept(now, self.occupancy);
+        let served_by = self.ports.get_mut(port as usize).accept(now, self.occupancy);
         // The packet leaves the port when transmission completes, then
         // takes the stage latency to reach the next hop.
         served_by + self.latency
@@ -97,7 +166,7 @@ impl Crossbar {
 
     /// Per-port statistics.
     pub fn port(&self, port: u16) -> &PortServer {
-        &self.ports[port as usize]
+        self.ports.get(port as usize)
     }
 
     /// Number of output ports.
@@ -113,6 +182,11 @@ impl Crossbar {
     /// Total queueing delay across all ports.
     pub fn total_queued(&self) -> Cycles {
         self.ports.iter().map(PortServer::queued).sum()
+    }
+
+    /// Read-only access to the whole port bank (diagnostics).
+    pub fn ports(&self) -> &PortBank {
+        &self.ports
     }
 }
 
@@ -158,6 +232,21 @@ mod tests {
         assert_eq!(sw.port(2).queued(), Cycles(10));
         assert_eq!(sw.total_packets(), 5);
         assert_eq!(sw.total_queued(), Cycles(10));
+    }
+
+    #[test]
+    fn wide_crossbar_spills_past_inline_ports() {
+        // A 16-output switch exercises the spill half of the bank.
+        let mut sw = Crossbar::new(16, Cycles(4), Cycles(1));
+        assert_eq!(sw.radix(), 16);
+        let a = sw.transit(15, Cycles(10)); // spill port
+        let b = sw.transit(15, Cycles(10));
+        assert_eq!((a, b), (Cycles(15), Cycles(16)));
+        let c = sw.transit(0, Cycles(10)); // inline port, independent
+        assert_eq!(c, Cycles(15));
+        assert_eq!(sw.port(15).packets(), 2);
+        assert_eq!(sw.total_packets(), 3);
+        assert_eq!(sw.ports().iter().count(), 16);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   counters are monotonic named totals ([`Counters`]). A disabled
 //!   recorder is a no-op: `enter` never reads the clock and every other
 //!   call returns immediately, so instrumented code pays one branch.
+//!   For per-event tallies even that is too much; hot loops batch into
+//!   a flat [`ScratchCounters`] block and flush it into the rollup at a
+//!   phase boundary.
 //! * [`RunOptions`] — the single typed run-configuration record
 //!   (scheduler kind, worker count, shrink factor, smoke mode,
 //!   telemetry level, output directory). Built programmatically with
@@ -28,6 +31,8 @@
 pub mod json;
 pub mod options;
 pub mod recorder;
+pub mod scratch;
 
 pub use options::{RunOptions, TelemetryLevel};
 pub use recorder::{Counters, Recorder, RunStats, SpanStat, SpanToken};
+pub use scratch::ScratchCounters;

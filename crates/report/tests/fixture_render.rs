@@ -1,0 +1,259 @@
+//! Table formatters pinned on hand-built [`RunResult`] fixtures.
+//!
+//! The golden tests in the workspace root pin the *end-to-end* pipeline
+//! (simulate → analyse → render); a formatter bug there is entangled
+//! with every simulator change. These tests hand-build `RunResult`
+//! values with round, human-checkable numbers — no simulation at all —
+//! so the Table 2–4 and fault-report renderers are pinned in isolation:
+//! a snapshot diff here is *always* a formatter change.
+//!
+//! Snapshots live in `tests/golden/` next to this file and re-record
+//! with `UPDATE_GOLDEN=1`.
+
+use std::path::PathBuf;
+
+use cedar_core::suite::{AppResults, SuiteResult, SuiteTelemetry};
+use cedar_core::RunResult;
+use cedar_hw::gmem::GmemStats;
+use cedar_hw::{ClusterId, Configuration};
+use cedar_report::tables;
+use cedar_report::{golden, paper};
+use cedar_sim::stats::LatencyHistogram;
+use cedar_sim::Cycles;
+use cedar_trace::qmon::ClusterUtilization;
+use cedar_trace::{TaskBreakdown, UserBucket};
+use cedar_xylem::{OsAccounting, OsActivity};
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn empty_gmem() -> GmemStats {
+    GmemStats {
+        packets: 0,
+        cluster_path_queued: Cycles::ZERO,
+        fwd_queued: Cycles::ZERO,
+        rev_queued: Cycles::ZERO,
+        module_queued: Cycles::ZERO,
+        module_requests: vec![],
+        module_sync_requests: vec![],
+        latency: LatencyHistogram::new(4),
+        min_round_trip: Cycles(36),
+    }
+}
+
+fn base_run(app: &'static str, configuration: Configuration, ct: u64) -> RunResult {
+    RunResult {
+        app,
+        configuration,
+        completion_time: Cycles(ct),
+        breakdowns: vec![TaskBreakdown::new()],
+        utilization: vec![ClusterUtilization::default()],
+        os: OsAccounting::new(1),
+        concurrency: vec![1.0],
+        gmem: empty_gmem(),
+        background_stolen: Cycles::ZERO,
+        bodies: 0,
+        faults: (0, 0),
+        events: 0,
+        trace: None,
+        stats: cedar_obs::RunStats::default(),
+    }
+}
+
+/// The 1-processor baseline: all loop work on one CE, concurrency 1.
+fn p1_run(app: &'static str, scale: u64) -> RunResult {
+    let mut r = base_run(app, Configuration::P1, 1_000_000 * scale);
+    let b = &mut r.breakdowns[0];
+    b.charge(UserBucket::IterExec, Cycles(600_000 * scale));
+    b.charge(UserBucket::Serial, Cycles(300_000 * scale));
+    b.charge(UserBucket::ClusterLoop, Cycles(100_000 * scale));
+    r
+}
+
+/// A 32-processor run with round numbers: the main cluster splits its
+/// time across every Figure-4 bucket, three helpers run spread loops,
+/// and each Table-2 OS bucket gets a distinct, recognizable charge.
+fn p32_run(app: &'static str, scale: u64) -> RunResult {
+    let mut r = base_run(app, Configuration::P32, 60_000 * scale);
+    r.breakdowns = Vec::new();
+    let mut main = TaskBreakdown::new();
+    main.charge(UserBucket::IterExec, Cycles(30_000 * scale));
+    main.charge(UserBucket::ClusterLoop, Cycles(6_000 * scale));
+    main.charge(UserBucket::Serial, Cycles(10_000 * scale));
+    main.charge(UserBucket::PickupSdoall, Cycles(2_000 * scale));
+    main.charge(UserBucket::BarrierWait, Cycles(4_000 * scale));
+    main.charge(UserBucket::LoopSetup, Cycles(1_000 * scale));
+    main.charge(UserBucket::ClusterSync, Cycles(3_000 * scale));
+    r.breakdowns.push(main);
+    for h in 0..3u64 {
+        let mut b = TaskBreakdown::new();
+        b.charge(UserBucket::IterExec, Cycles((38_000 + h * 2_000) * scale));
+        b.charge(UserBucket::HelperWait, Cycles((12_000 - h * 1_000) * scale));
+        b.charge(UserBucket::PickupSdoall, Cycles(2_000 * scale));
+        r.breakdowns.push(b);
+    }
+    r.utilization = vec![ClusterUtilization::default(); 4];
+    r.concurrency = vec![6.5, 7.0, 7.2, 6.8];
+    r.os = OsAccounting::new(4);
+    // One distinct, stable charge per Table-2 row: row i gets (i+1)·100
+    // cycles, scaled per app so the three columns differ.
+    for (i, a) in OsActivity::ALL.into_iter().enumerate() {
+        r.os
+            .charge(ClusterId(0), a, Cycles((i as u64 + 1) * 100 * scale));
+    }
+    r
+}
+
+/// Three-app, two-configuration campaign with per-app scale factors so
+/// every rendered column is distinct.
+fn fixture_suite() -> SuiteResult {
+    let apps = [("FLO52", 1u64), ("ARC2D", 2), ("MDG", 3)];
+    SuiteResult {
+        apps: apps
+            .into_iter()
+            .map(|(name, scale)| AppResults {
+                app: name,
+                runs: vec![p1_run(name, scale), p32_run(name, scale)],
+            })
+            .collect(),
+        telemetry: SuiteTelemetry::default(),
+    }
+}
+
+#[test]
+fn table2_rendering_is_pinned_on_fixtures() {
+    let t = tables::table2(&fixture_suite());
+    // Structure: one row per Table-2 activity (KernelSpin reported via
+    // Figure 3 instead), two columns per app.
+    for a in OsActivity::ALL {
+        if a == OsActivity::KernelSpin {
+            assert!(!t.contains(a.label()), "KernelSpin must stay out");
+        } else {
+            assert!(t.contains(a.label()), "missing row {a:?}");
+        }
+    }
+    golden::assert_matches(&golden_path("fixture_table2"), &t);
+}
+
+#[test]
+fn table3_rendering_is_pinned_on_fixtures() {
+    let t = tables::table3(&fixture_suite());
+    // P32 is 4 clusters: a Main row and exactly three helper rows.
+    for task in ["Main", "helper1", "helper2", "helper3"] {
+        assert!(t.contains(task), "missing task row {task}");
+    }
+    // Hand-check one cell: FLO52 main cluster, pf = 39/60 (IterExec +
+    // ClusterLoop + PickupSdoall + ClusterSync), avg 6.5
+    //   par = (6.5 - 1 + 0.65) / 0.65 = 9.46
+    assert!(t.contains("9.46"), "main-cluster par_concurr:\n{t}");
+    golden::assert_matches(&golden_path("fixture_table3"), &t);
+}
+
+#[test]
+fn table4_rendering_is_pinned_on_fixtures() {
+    let t = tables::table4(&fixture_suite());
+    assert!(t.contains("Tp_actual"));
+    assert!(t.contains("Tp_ideal"));
+    assert!(t.contains("Ov_cont"));
+    golden::assert_matches(&golden_path("fixture_table4"), &t);
+}
+
+#[test]
+fn table1_rendering_is_pinned_on_fixtures() {
+    let t = tables::table1(&fixture_suite());
+    // Speedup of every app is 1_000_000/60_000 = 16.67, concurrency is
+    // the per-cluster sum 27.5; both must render in the P32 column.
+    assert!(t.contains("16.67"), "speedup cell:\n{t}");
+    assert!(t.contains("27.50"), "concurrency cell:\n{t}");
+    golden::assert_matches(&golden_path("fixture_table1"), &t);
+}
+
+/// `paper::*` comparisons walk every Table-1 app over the full
+/// configuration grid, so they get a dedicated all-apps fixture: P1 is
+/// the scaled baseline and every multi-processor run completes in
+/// `T1 / (0.9 · p)` — a flat 90%-efficiency machine.
+fn full_grid_suite() -> SuiteResult {
+    let apps = [("FLO52", 1u64), ("ARC2D", 2), ("MDG", 3), ("OCEAN", 4), ("ADM", 5)];
+    SuiteResult {
+        apps: apps
+            .into_iter()
+            .map(|(name, scale)| AppResults {
+                app: name,
+                runs: Configuration::ALL
+                    .into_iter()
+                    .map(|c| {
+                        if c == Configuration::P1 {
+                            p1_run(name, scale)
+                        } else {
+                            let p = u64::from(c.clusters()) * u64::from(c.ces_per_cluster());
+                            base_run(name, c, 1_000_000 * scale * 10 / (9 * p))
+                        }
+                    })
+                    .collect(),
+            })
+            .collect(),
+        telemetry: SuiteTelemetry::default(),
+    }
+}
+
+#[test]
+fn speedup_comparison_renders_against_paper_bands() {
+    let t = paper::speedup_comparison(&full_grid_suite());
+    assert!(t.contains("FLO52"));
+    // 90% efficiency at 4 processors = speedup 3.60, at 32 = 28.80.
+    assert!(t.contains("3.60"), "4-proc measured speedup:\n{t}");
+    assert!(t.contains("28.80"), "32-proc measured speedup:\n{t}");
+    golden::assert_matches(&golden_path("fixture_paper_speedup"), &t);
+}
+
+#[test]
+fn fault_report_rendering_is_pinned_on_fixtures() {
+    // Base: the P32 fixture. Faulted: same run stretched by injected OS
+    // time, with the injection counters the campaign would have kept.
+    let base = p32_run("FLO52", 1);
+    let mut faulted = p32_run("FLO52", 1);
+    faulted.completion_time += Cycles(9_000);
+    faulted.os.charge(ClusterId(0), OsActivity::Cpi, Cycles(4_000));
+    faulted
+        .os
+        .charge(ClusterId(1), OsActivity::Cpi, Cycles(1_000));
+    faulted
+        .os
+        .charge(ClusterId(0), OsActivity::Ast, Cycles(2_500));
+    faulted.stats.counters.add("faults.injected.cpi", 5_000);
+    faulted.stats.counters.add("faults.injected.ast", 2_500);
+    faulted.stats.counters.add("faults.injected.stall", 1_200);
+
+    let r = tables::fault_report(&base, &faulted);
+    // Every Table-2 bucket appears, plus the synthesis rows.
+    for a in OsActivity::ALL {
+        assert!(r.contains(a.label()), "missing {a:?} row");
+    }
+    assert!(r.contains("helper stall (user)"));
+    assert!(r.contains("gmem queued/pkt"));
+    assert!(r.contains("completion time"));
+    golden::assert_matches(&golden_path("fixture_fault_report"), &r);
+}
+
+#[test]
+#[should_panic(expected = "same app")]
+fn fault_report_rejects_mismatched_apps() {
+    let base = p32_run("FLO52", 1);
+    let faulted = p32_run("MDG", 1);
+    tables::fault_report(&base, &faulted);
+}
+
+#[test]
+#[should_panic(expected = "same configuration")]
+fn fault_report_rejects_mismatched_configurations() {
+    let base = p32_run("FLO52", 1);
+    let faulted = {
+        let mut r = p32_run("FLO52", 1);
+        r.configuration = Configuration::P16;
+        r
+    };
+    tables::fault_report(&base, &faulted);
+}

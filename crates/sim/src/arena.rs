@@ -1,0 +1,189 @@
+//! Pooled event storage: a slab arena with generation-tagged handles.
+//!
+//! Both pending-event set implementations park event payloads here and
+//! keep only a 24-byte `(time, seq, handle)` entry in their ordering
+//! structures (wheel buckets, overflow heap, binary-heap lanes). Freed
+//! slots go on a LIFO free list and are recycled on the next
+//! [`alloc`](EventArena::alloc), so steady-state scheduling performs no
+//! heap allocation: the arena grows to the peak pending population once
+//! and then only moves slot indices around. The LIFO discipline also
+//! keeps the recycled slots cache-hot.
+//!
+//! Handles are *generation tagged*: every slot carries a counter that is
+//! bumped each time the slot is freed, and a handle is only valid while
+//! its recorded generation matches. A cancelled event's entry can thus
+//! stay behind in a wheel bucket or heap lane as a tombstone — when the
+//! entry finally surfaces, the generation mismatch identifies it as
+//! stale and it is silently discarded. This is what makes O(1)
+//! cancellation possible without searching the ordering structures.
+
+/// A generation-tagged reference to a pending event's arena slot.
+///
+/// Returned by the cancellable scheduling entry points
+/// ([`EventQueue::schedule_cancellable`](crate::EventQueue::schedule_cancellable));
+/// pass it back to [`cancel`](crate::EventQueue::cancel) to revoke the
+/// event. A handle is single-use: once the event fires or is cancelled,
+/// the handle goes stale and further cancels return `false`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle {
+    pub(crate) index: u32,
+    pub(crate) gen: u32,
+}
+
+/// One arena slot: the payload plus the bookkeeping that cancellation
+/// and self-telemetry need.
+struct Slot<E> {
+    /// Bumped on every free; a handle is live iff its gen matches.
+    gen: u32,
+    /// Hold-histogram bucket recorded when the event was scheduled, so a
+    /// cancel can reverse exactly the contribution the schedule made.
+    hold_bucket: u8,
+    /// `true` while the event sits on the calendar wheel (as opposed to
+    /// the overflow tier); lets a cancel decrement the right occupancy
+    /// counter.
+    on_wheel: bool,
+    /// The event payload; `None` while the slot is free.
+    payload: Option<E>,
+}
+
+/// Slab-recycled storage for pending-event payloads.
+pub(crate) struct EventArena<E> {
+    slots: Vec<Slot<E>>,
+    /// LIFO free list (indices into `slots`).
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<E> EventArena<E> {
+    pub(crate) fn new() -> Self {
+        EventArena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Parks `payload`, recycling a freed slot when one exists.
+    pub(crate) fn alloc(&mut self, payload: E, hold_bucket: u8, on_wheel: bool) -> EventHandle {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.payload.is_none(), "free-listed slot still occupied");
+            slot.hold_bucket = hold_bucket;
+            slot.on_wheel = on_wheel;
+            slot.payload = Some(payload);
+            EventHandle {
+                index,
+                gen: slot.gen,
+            }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot {
+                gen: 0,
+                hold_bucket,
+                on_wheel,
+                payload: Some(payload),
+            });
+            EventHandle { index, gen: 0 }
+        }
+    }
+
+    /// `true` while `h` refers to a pending (not fired, not cancelled)
+    /// event.
+    pub(crate) fn is_live(&self, h: EventHandle) -> bool {
+        self.slots[h.index as usize].gen == h.gen
+    }
+
+    /// Removes the payload `h` refers to (event fired). Returns `None`
+    /// when the handle is stale — the tombstone case.
+    pub(crate) fn take(&mut self, h: EventHandle) -> Option<E> {
+        let slot = &mut self.slots[h.index as usize];
+        if slot.gen != h.gen {
+            return None;
+        }
+        let payload = slot.payload.take().expect("live slot holds a payload");
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.index);
+        self.live -= 1;
+        Some(payload)
+    }
+
+    /// Cancels the event `h` refers to, returning the bookkeeping the
+    /// queue's stats need to reverse: `(hold_bucket, on_wheel)`. `None`
+    /// when the handle is stale.
+    pub(crate) fn cancel(&mut self, h: EventHandle) -> Option<(u8, bool)> {
+        let slot = &mut self.slots[h.index as usize];
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.payload = None;
+        let info = (slot.hold_bucket, slot.on_wheel);
+        slot.gen = slot.gen.wrapping_add(1);
+        self.free.push(h.index);
+        self.live -= 1;
+        Some(info)
+    }
+
+    /// Flags the event as now living on the calendar wheel (overflow →
+    /// wheel migration).
+    pub(crate) fn set_on_wheel(&mut self, h: EventHandle) {
+        let slot = &mut self.slots[h.index as usize];
+        debug_assert_eq!(slot.gen, h.gen, "migrating a stale handle");
+        slot.on_wheel = true;
+    }
+
+    /// Number of live (pending) events.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_take_roundtrip() {
+        let mut a: EventArena<&str> = EventArena::new();
+        let h = a.alloc("x", 3, true);
+        assert_eq!(a.live(), 1);
+        assert!(a.is_live(h));
+        assert_eq!(a.take(h), Some("x"));
+        assert_eq!(a.live(), 0);
+        assert!(!a.is_live(h));
+        assert_eq!(a.take(h), None, "second take sees a stale handle");
+    }
+
+    #[test]
+    fn slots_recycle_lifo_without_growth() {
+        let mut a: EventArena<u64> = EventArena::new();
+        let h0 = a.alloc(0, 0, true);
+        let h1 = a.alloc(1, 0, true);
+        assert_eq!((h0.index, h1.index), (0, 1));
+        a.take(h1);
+        let h2 = a.alloc(2, 0, true);
+        assert_eq!(h2.index, 1, "freed slot is reused LIFO");
+        assert_ne!(h2.gen, h1.gen, "reuse bumps the generation");
+        assert_eq!(a.take(h1), None, "old handle cannot steal the new event");
+        assert_eq!(a.take(h2), Some(2));
+        a.take(h0);
+    }
+
+    #[test]
+    fn cancel_reports_bookkeeping_once() {
+        let mut a: EventArena<u8> = EventArena::new();
+        let h = a.alloc(9, 7, false);
+        assert_eq!(a.cancel(h), Some((7, false)));
+        assert_eq!(a.cancel(h), None);
+        assert_eq!(a.take(h), None);
+        assert_eq!(a.live(), 0);
+    }
+
+    #[test]
+    fn wheel_migration_flag() {
+        let mut a: EventArena<u8> = EventArena::new();
+        let h = a.alloc(1, 2, false);
+        a.set_on_wheel(h);
+        assert_eq!(a.cancel(h), Some((2, true)));
+    }
+}

@@ -5,55 +5,71 @@
 //! two of cycles each) and keeps one bucket per day for the next
 //! `days` days. Scheduling an event within that horizon is an append to
 //! its day's bucket; scheduling beyond it pushes into an overflow
-//! binary heap that is drained into the wheel as the cursor advances.
-//! Popping takes the next event from the cursor's bucket, sorting the
-//! bucket lazily on first touch. Because the Cedar machine schedules
-//! almost every event a handful of cycles ahead (switch hops, module
-//! service, spin periods are all 1–8 cycles), nearly all traffic stays
-//! on the O(1) wheel path and the heap's O(log n) per-event cost — with
-//! n in the tens of thousands during a 32-processor campaign — drops
-//! out of the simulator's hot loop.
+//! min-heap that is drained into the wheel as the cursor advances.
+//! Popping reads the next entry at the cursor bucket's drain cursor.
+//! Because the Cedar machine schedules almost every event a handful of
+//! cycles ahead (switch hops, module service, spin periods are all 1–8
+//! cycles), nearly all traffic stays on the O(1) wheel path and the
+//! heap's O(log n) per-event cost — with n in the tens of thousands
+//! during a 32-processor campaign — drops out of the simulator's hot
+//! loop.
 //!
 //! Ordering is identical to [`HeapSchedule`](crate::queue::HeapSchedule):
-//! ascending fire time, ties broken by scheduling sequence. Buckets sort
-//! by `(time, seq)` descending and pop from the back; cross-bucket order
-//! holds because a bucket only ever contains events of a single pending
-//! day (events of an earlier day than the cursor's — legal but unusual —
-//! are clamped into the cursor's bucket, where the in-bucket sort still
-//! pops them first). Bucket vectors are retained across wheel rotations,
-//! so steady-state operation performs no allocation at all.
+//! ascending fire time, ties broken by scheduling sequence. Buckets keep
+//! their undrained tail in ascending `(time, seq)` order and advance a
+//! drain cursor per pop; appends almost always arrive in ascending order
+//! already (one-day buckets hold simultaneous events, whose tie-break
+//! sequences are issued ascending), so the common case is a plain
+//! `Vec::push` with no sorting or shifting at all. The rare
+//! order-breaking insert (an earlier-day stray clamped into the cursor's
+//! bucket, or an overflow migration landing behind a direct insert)
+//! flips a dirty bit and the tail is re-sorted once on the next pop.
+//! Cross-bucket order holds because a bucket only ever drains events of
+//! a single pending day.
+//!
+//! Plain-scheduled payloads are stored inline in the bucket and overflow
+//! entries (see [`Entry`](crate::queue::Entry)) — the hot path touches
+//! no side storage at all. Cancellable payloads live in the shared
+//! [`EventArena`] and their entries carry a generation-tagged handle.
+//! Drained buckets reset to empty while retaining capacity, so
+//! steady-state operation performs no allocation at all. Cancellation is
+//! O(1): the arena slot is freed immediately (releasing its occupancy
+//! and hold-histogram contribution) and the wheel/overflow entry stays
+//! behind as a generation-stale tombstone, swept when it surfaces.
 
-use std::collections::BinaryHeap;
-
-use crate::queue::{EventSchedule, Pending, QueueStats};
+use crate::arena::{EventArena, EventHandle};
+use crate::queue::{key_time, order_key, Entry, EventSchedule, MinHeap, QueueStats};
 use crate::time::SimTime;
 
 /// Default log2 of the day width: one-cycle days. A bucket then only
 /// ever holds simultaneous events, whose tie-break sequences arrive in
-/// ascending order — so the lazy bucket sort runs on an already-ordered
-/// run and costs O(k), keeping the per-event cost flat instead of
-/// re-paying the heap's O(log n) inside large buckets.
+/// ascending order — so appends never disturb the ascending tail and
+/// the per-event cost stays flat instead of re-paying the heap's
+/// O(log n) inside large buckets.
 const DEFAULT_DAY_SHIFT: u32 = 0;
 
 /// Default number of days on the wheel (must be a power of two).
 /// 256 one-cycle days keep the whole bucket array within ~8 KiB, so the
 /// cursor scan stays in L1 — measurements show the wheel's cache
-/// footprint, not the bucket sorts, dominates throughput (256 days run
-/// ~2.5× faster than 4096 on the packet-dense network workload). The
-/// 256-cycle horizon still covers every hop, service and occupancy
-/// constant in the machine model; longer rebookings (spin periods,
-/// daemon wakeups, serial sections) take the overflow tier, which the
-/// wheel drains as the cursor advances.
+/// footprint, not the bucket maintenance, dominates throughput (256
+/// days run ~2.5× faster than 4096 on the packet-dense network
+/// workload). The 256-cycle horizon still covers every hop, service and
+/// occupancy constant in the machine model; longer rebookings (spin
+/// periods, daemon wakeups, serial sections) take the overflow tier,
+/// which the wheel drains as the cursor advances.
 const DEFAULT_DAYS: u64 = 256;
 
-/// One day's worth of pending events.
+/// One day's worth of pending-event entries.
 ///
-/// `items` is sorted by `(time, seq)` descending whenever `sorted` is
-/// true, so the next event to fire is at the back. Inserts that keep the
-/// order cheap-append; inserts that break it defer to one lazy
-/// `sort_unstable` on the next pop from this bucket.
+/// `items[cursor..]` — the undrained tail — is in ascending `(time,
+/// seq)` order whenever `sorted` is true; the next entry to fire sits at
+/// `cursor`. Entries before the cursor are dead (already drained, left
+/// as [`Entry::Taken`]) and are reclaimed wholesale when the tail
+/// empties: the vector resets to empty, *retaining its capacity* for the
+/// wheel's next rotation.
 struct Bucket<E> {
-    items: Vec<(SimTime, u64, E)>,
+    items: Vec<(SimTime, u64, Entry<E>)>,
+    cursor: usize,
     sorted: bool,
 }
 
@@ -61,41 +77,50 @@ impl<E> Bucket<E> {
     fn new() -> Self {
         Bucket {
             items: Vec::new(),
+            cursor: 0,
             sorted: true,
         }
     }
 
-    fn push(&mut self, at: SimTime, seq: u64, payload: E) {
+    /// Appends an entry, flagging the tail dirty if it breaks ascending
+    /// order (rare: earlier-day strays and late overflow migrations).
+    fn push(&mut self, at: SimTime, seq: u64, entry: Entry<E>) {
         if self.sorted {
-            if let Some(last) = self.items.last() {
-                if (at, seq) > (last.0, last.1) {
+            if let Some(&(last_at, last_seq, _)) = self.items.last() {
+                if (at, seq) < (last_at, last_seq) {
                     self.sorted = false;
                 }
             }
         }
-        self.items.push((at, seq, payload));
+        self.items.push((at, seq, entry));
     }
 
+    /// Restores the ascending tail order after order-breaking appends.
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.items
-                .sort_unstable_by_key(|it| std::cmp::Reverse((it.0, it.1)));
+            self.items[self.cursor..].sort_unstable_by_key(|e| (e.0, e.1));
             self.sorted = true;
         }
     }
 
-    /// Inserts preserving descending order. Used for the cursor's own
-    /// bucket, where a lazy re-sort would otherwise run once per
-    /// interleaved insert; a binary-search insert keeps the drain O(1)
-    /// per pop.
-    fn insert_sorted(&mut self, at: SimTime, seq: u64, payload: E) {
-        if !self.sorted {
-            // Bucket was bulk-filled and not yet drained: stay lazy.
-            self.items.push((at, seq, payload));
-            return;
+    fn is_drained(&self) -> bool {
+        self.cursor >= self.items.len()
+    }
+
+    /// Removes and returns the tail's head entry (leaving a
+    /// [`Entry::Taken`] husk in the drained prefix). Caller must have
+    /// called [`ensure_sorted`](Self::ensure_sorted) and checked
+    /// [`is_drained`](Self::is_drained).
+    fn take_next(&mut self) -> (SimTime, u64, Entry<E>) {
+        let slot = &mut self.items[self.cursor];
+        let out = (slot.0, slot.1, std::mem::replace(&mut slot.2, Entry::Taken));
+        self.cursor += 1;
+        if self.cursor == self.items.len() {
+            self.items.clear();
+            self.cursor = 0;
+            self.sorted = true;
         }
-        let pos = self.items.partition_point(|it| (it.0, it.1) > (at, seq));
-        self.items.insert(pos, (at, seq, payload));
+        out
     }
 }
 
@@ -128,15 +153,21 @@ pub struct CalendarSchedule<E> {
     day_mask: u64,
     /// log2 of cycles per day; the time → day map is a shift, not a div.
     day_shift: u32,
-    /// The day the pop cursor is on. Every wheel event's day is in
+    /// The day the pop cursor is on. Every live wheel event's day is in
     /// `[cur_day, cur_day + days)` (earlier-day strays are clamped into
     /// `cur_day`'s bucket at insert).
     cur_day: u64,
-    /// Events currently on the wheel (excludes overflow).
-    wheel_len: usize,
-    /// Events at or beyond the wheel horizon, drained in as the cursor
-    /// advances.
-    overflow: BinaryHeap<Pending<E>>,
+    /// Live events currently on the wheel, inline and pooled alike
+    /// (excludes overflow and cancelled tombstones).
+    wheel_live: usize,
+    /// Entries at or beyond the wheel horizon, drained in as the cursor
+    /// advances. The root is always live (stale roots are purged on
+    /// cancel), so its key is an exact peek.
+    overflow: MinHeap<E>,
+    /// Live events in the overflow tier.
+    overflow_live: usize,
+    /// Pool for cancellable events only; plain traffic never touches it.
+    arena: EventArena<E>,
     next_seq: u64,
     stats: QueueStats,
     last_popped: SimTime,
@@ -169,8 +200,10 @@ impl<E> CalendarSchedule<E> {
             day_mask: days - 1,
             day_shift: day_width.trailing_zeros(),
             cur_day: 0,
-            wheel_len: 0,
-            overflow: BinaryHeap::new(),
+            wheel_live: 0,
+            overflow: MinHeap::new(),
+            overflow_live: 0,
+            arena: EventArena::new(),
             next_seq: 0,
             stats: QueueStats::new(),
             last_popped: SimTime::ZERO,
@@ -198,26 +231,43 @@ impl<E> CalendarSchedule<E> {
         }
     }
 
-    /// Moves every overflow event whose day now falls inside the horizon
-    /// onto the wheel. Called whenever `cur_day` changes, preserving the
-    /// invariant that overflow events are strictly beyond the wheel.
+    /// Moves every live overflow event whose day now falls inside the
+    /// horizon onto the wheel (sweeping any stale tombstones met on the
+    /// way). Called whenever `cur_day` changes, preserving the invariant
+    /// that live overflow events are strictly beyond the wheel.
     fn refill_from_overflow(&mut self) {
-        while let Some(head) = self.overflow.peek() {
-            if !self.fits_wheel(self.day_of(head.at)) {
+        loop {
+            let key = match self.overflow.peek() {
+                Some((key, entry)) => {
+                    if !entry.is_live(&self.arena) {
+                        self.overflow.pop();
+                        continue;
+                    }
+                    key
+                }
+                None => break,
+            };
+            let at = key_time(key);
+            if !self.fits_wheel(self.day_of(at)) {
                 break;
             }
-            let p = self.overflow.pop().expect("peeked above");
-            let day = self.day_of(p.at).max(self.cur_day);
+            let (_, entry) = self.overflow.pop().expect("peeked root exists");
+            if let Entry::Pooled(handle) = entry {
+                self.arena.set_on_wheel(handle);
+            }
+            let day = self.day_of(at).max(self.cur_day);
             let idx = (day & self.day_mask) as usize;
-            self.buckets[idx].push(p.at, p.seq, p.payload);
-            self.wheel_len += 1;
-            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_len as u64);
+            let seq = key as u64;
+            self.buckets[idx].push(at, seq, entry);
+            self.wheel_live += 1;
+            self.overflow_live -= 1;
+            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_live as u64);
         }
     }
 
-    /// Events pending in the overflow tier (diagnostics and tests).
+    /// Live events pending in the overflow tier (diagnostics and tests).
     pub fn overflow_len(&self) -> usize {
-        self.overflow.len()
+        self.overflow_live
     }
 }
 
@@ -225,48 +275,101 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         let day = self.day_of(at);
         if !self.fits_wheel(day) {
-            self.overflow.push(Pending { at, seq, payload });
+            self.overflow.push(order_key(at, seq), Entry::Inline(payload));
+            self.overflow_live += 1;
             self.stats.overflow_spills += 1;
         } else {
             let day = day.max(self.cur_day);
             let idx = (day & self.day_mask) as usize;
-            if day == self.cur_day {
-                self.buckets[idx].insert_sorted(at, seq, payload);
-            } else {
-                self.buckets[idx].push(at, seq, payload);
-            }
-            self.wheel_len += 1;
-            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_len as u64);
+            self.buckets[idx].push(at, seq, Entry::Inline(payload));
+            self.wheel_live += 1;
+            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_live as u64);
         }
-        self.stats.on_schedule(
-            at.0.saturating_sub(self.last_popped.0),
-            self.wheel_len + self.overflow.len(),
-        );
+        self.stats
+            .on_schedule(bucket, self.wheel_live + self.overflow_live);
+    }
+
+    fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
+        let day = self.day_of(at);
+        let handle;
+        if !self.fits_wheel(day) {
+            handle = self.arena.alloc(payload, bucket, false);
+            self.overflow.push(order_key(at, seq), Entry::Pooled(handle));
+            self.overflow_live += 1;
+            self.stats.overflow_spills += 1;
+        } else {
+            let day = day.max(self.cur_day);
+            let idx = (day & self.day_mask) as usize;
+            handle = self.arena.alloc(payload, bucket, true);
+            self.buckets[idx].push(at, seq, Entry::Pooled(handle));
+            self.wheel_live += 1;
+            self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_live as u64);
+        }
+        self.stats
+            .on_schedule(bucket, self.wheel_live + self.overflow_live);
+        handle
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self.arena.cancel(handle) {
+            Some((bucket, on_wheel)) => {
+                debug_assert!(
+                    self.arena.live() < self.wheel_live + self.overflow_live,
+                    "pooled live population must stay a subset of the total"
+                );
+                self.stats.on_cancel(bucket);
+                if on_wheel {
+                    self.wheel_live -= 1;
+                } else {
+                    self.overflow_live -= 1;
+                    // Keep the overflow root live so peeks stay exact.
+                    self.overflow.purge_stale(&self.arena);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            if self.wheel_len == 0 {
+            if self.wheel_live == 0 {
+                if self.overflow_live == 0 {
+                    return None;
+                }
                 // Wheel empty: jump the cursor to the overflow head's day
-                // and pull its cohort in (or report empty).
-                let head_day = self.day_of(self.overflow.peek()?.at);
-                self.cur_day = head_day;
+                // and pull its cohort in.
+                let (key, _) = self.overflow.peek().expect("live overflow has a root");
+                self.cur_day = self.day_of(key_time(key));
                 self.refill_from_overflow();
-                debug_assert!(self.wheel_len > 0, "refill pulled nothing despite head");
+                debug_assert!(self.wheel_live > 0, "refill pulled nothing despite head");
                 continue;
             }
             let idx = (self.cur_day & self.day_mask) as usize;
-            if self.buckets[idx].items.is_empty() {
+            let bucket = &mut self.buckets[idx];
+            if bucket.is_drained() {
                 self.cur_day += 1;
                 self.refill_from_overflow();
                 continue;
             }
-            let bucket = &mut self.buckets[idx];
             bucket.ensure_sorted();
-            let (at, _seq, payload) = bucket.items.pop().expect("checked non-empty");
-            self.wheel_len -= 1;
+            let (at, _seq, entry) = bucket.take_next();
+            let payload = match entry {
+                Entry::Inline(payload) => payload,
+                Entry::Pooled(handle) => match self.arena.take(handle) {
+                    Some(payload) => payload,
+                    // Cancelled tombstone: swept, not counted as a pop.
+                    None => continue,
+                },
+                Entry::Taken => unreachable!("Taken husks never sit at the drain cursor"),
+            };
+            self.wheel_live -= 1;
             self.stats.popped += 1;
             self.last_popped = at;
             return Some((at, payload));
@@ -274,28 +377,37 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        if self.wheel_len > 0 {
-            // The first non-empty bucket from the cursor holds the global
-            // minimum (single-day buckets; overflow is beyond the wheel).
+        if self.wheel_live > 0 {
+            // The first bucket from the cursor holding a live entry holds
+            // the global minimum (single-day buckets; live overflow is
+            // beyond the wheel; stale tombstones are skipped).
             for d in 0..self.days() {
-                let idx = ((self.cur_day + d) & self.day_mask) as usize;
+                let idx = (self.cur_day.wrapping_add(d) & self.day_mask) as usize;
                 let bucket = &self.buckets[idx];
-                if bucket.items.is_empty() {
-                    continue;
-                }
-                return if bucket.sorted {
-                    bucket.items.last().map(|item| item.0)
+                let mut live = bucket.items[bucket.cursor..]
+                    .iter()
+                    .filter(|(_, _, e)| e.is_live(&self.arena))
+                    .map(|&(at, seq, _)| (at, seq));
+                let found = if bucket.sorted {
+                    live.next()
                 } else {
-                    bucket.items.iter().map(|item| item.0).min()
+                    live.min()
                 };
+                if let Some((at, _)) = found {
+                    return Some(at);
+                }
             }
-            unreachable!("wheel_len > 0 but every bucket is empty");
+            unreachable!("wheel_live > 0 but no live wheel entry");
         }
-        self.overflow.peek().map(|p| p.at)
+        if self.overflow_live > 0 {
+            // The root is always live (stale roots purged on cancel).
+            return self.overflow.peek().map(|(key, _)| key_time(key));
+        }
+        None
     }
 
     fn len(&self) -> usize {
-        self.wheel_len + self.overflow.len()
+        self.wheel_live + self.overflow_live
     }
 
     fn scheduled_total(&self) -> u64 {
@@ -319,8 +431,8 @@ impl<E> std::fmt::Debug for CalendarSchedule<E> {
             .field("days", &self.days())
             .field("day_width", &(1u64 << self.day_shift))
             .field("cur_day", &self.cur_day)
-            .field("wheel", &self.wheel_len)
-            .field("overflow", &self.overflow.len())
+            .field("wheel", &self.wheel_live)
+            .field("overflow", &self.overflow_live)
             .finish()
     }
 }
@@ -379,7 +491,7 @@ mod tests {
         let mut q: CalendarSchedule<u32> = CalendarSchedule::new();
         q.schedule(Cycles(500), 0);
         assert_eq!(q.pop(), Some((Cycles(500), 0)));
-        // The cursor now sits at day 125; scheduling in its past is
+        // The cursor now sits at day 500; scheduling in its past is
         // legal for the queue (the machine never does it) and must pop
         // before anything later.
         q.schedule(Cycles(600), 1);
@@ -462,6 +574,104 @@ mod tests {
     }
 
     #[test]
+    fn property_interleaved_cancels_match_heap() {
+        // As above, but a third of scheduled events are revoked before
+        // they fire — on both schedulers — so tombstone sweeping on the
+        // wheel, in the overflow tier, and across refills is exercised
+        // against the reference implementation.
+        for seed in 0..32u64 {
+            let mut rng = SplitMix64::new(0xDEAD_0000 + seed);
+            let mut heap = HeapSchedule::new();
+            let mut cal = CalendarSchedule::with_geometry(4, 64);
+            let mut payload = 0u64;
+            let mut pending: Vec<(EventHandle, EventHandle)> = Vec::new();
+            for _ in 0..50 {
+                let t = rng.next_below(4_000);
+                pending.push((
+                    heap.schedule_cancellable(Cycles(t), payload),
+                    cal.schedule_cancellable(Cycles(t), payload),
+                ));
+                payload += 1;
+            }
+            for step in 0..2_000u64 {
+                if !pending.is_empty() && rng.next_below(3) == 0 {
+                    let victim = rng.next_below(pending.len() as u64) as usize;
+                    let (hh, ch) = pending.swap_remove(victim);
+                    assert_eq!(heap.cancel(hh), cal.cancel(ch), "seed {seed} step {step}");
+                } else {
+                    let h = heap.pop();
+                    let c = cal.pop();
+                    assert_eq!(h, c, "seed {seed} step {step}");
+                    assert_eq!(heap.len(), cal.len(), "seed {seed} step {step}");
+                    let Some((now, _)) = h else { break };
+                    for _ in 0..rng.next_below(3) {
+                        let delay = 1 + rng.next_below(600);
+                        pending.push((
+                            heap.schedule_cancellable(now + Cycles(delay), payload),
+                            cal.schedule_cancellable(now + Cycles(delay), payload),
+                        ));
+                        payload += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_mixed_inline_and_cancellable_match_heap() {
+        // Both storage tiers at once: plain (inline) and cancellable
+        // (pooled) events interleave on the same wheel and overflow heap,
+        // with a third of the cancellable ones revoked before firing.
+        for seed in 0..32u64 {
+            let mut rng = SplitMix64::new(0x4D12_0000 + seed);
+            let mut heap = HeapSchedule::new();
+            let mut cal = CalendarSchedule::with_geometry(4, 64);
+            let mut payload = 0u64;
+            let mut pending: Vec<(EventHandle, EventHandle)> = Vec::new();
+            for _ in 0..60 {
+                let t = rng.next_below(4_000);
+                if rng.next_below(2) == 0 {
+                    heap.schedule(Cycles(t), payload);
+                    cal.schedule(Cycles(t), payload);
+                } else {
+                    pending.push((
+                        heap.schedule_cancellable(Cycles(t), payload),
+                        cal.schedule_cancellable(Cycles(t), payload),
+                    ));
+                }
+                payload += 1;
+            }
+            for step in 0..2_000u64 {
+                if !pending.is_empty() && rng.next_below(4) == 0 {
+                    let victim = rng.next_below(pending.len() as u64) as usize;
+                    let (hh, ch) = pending.swap_remove(victim);
+                    assert_eq!(heap.cancel(hh), cal.cancel(ch), "seed {seed} step {step}");
+                } else {
+                    let h = heap.pop();
+                    let c = cal.pop();
+                    assert_eq!(h, c, "seed {seed} step {step}");
+                    assert_eq!(heap.len(), cal.len(), "seed {seed} step {step}");
+                    assert_eq!(heap.peek_time(), cal.peek_time(), "seed {seed} step {step}");
+                    let Some((now, _)) = h else { break };
+                    for _ in 0..rng.next_below(3) {
+                        let delay = 1 + rng.next_below(600);
+                        if rng.next_below(2) == 0 {
+                            heap.schedule(now + Cycles(delay), payload);
+                            cal.schedule(now + Cycles(delay), payload);
+                        } else {
+                            pending.push((
+                                heap.schedule_cancellable(now + Cycles(delay), payload),
+                                cal.schedule_cancellable(now + Cycles(delay), payload),
+                            ));
+                        }
+                        payload += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn property_len_and_peek_agree_with_heap() {
         let mut rng = SplitMix64::new(0x1DE5);
         let mut heap = HeapSchedule::new();
@@ -497,6 +707,37 @@ mod tests {
             s.wheel_peak, 2,
             "refill of a lone event does not raise the peak"
         );
+    }
+
+    #[test]
+    fn cancelled_overflow_events_never_migrate() {
+        let mut q: CalendarSchedule<u32> = CalendarSchedule::with_geometry(4, 4);
+        q.schedule(Cycles(1), 0);
+        let doomed = q.schedule_cancellable(Cycles(1_000), 1);
+        q.schedule(Cycles(1_000), 2);
+        assert_eq!(q.overflow_len(), 2);
+        assert!(q.cancel(doomed));
+        assert_eq!(q.overflow_len(), 1, "cancel releases overflow occupancy");
+        assert_eq!(q.pop(), Some((Cycles(1), 0)));
+        assert_eq!(q.pop(), Some((Cycles(1_000), 2)));
+        assert_eq!(q.pop(), None);
+        let s = EventSchedule::stats(&q);
+        assert_eq!((s.popped, s.cancelled), (2, 1));
+    }
+
+    #[test]
+    fn cancelled_wheel_events_release_occupancy_immediately() {
+        let mut q: CalendarSchedule<u32> = CalendarSchedule::new();
+        let a = q.schedule_cancellable(Cycles(3), 0);
+        assert!(q.cancel(a));
+        // The freed slot is recycled: occupancy peaks at 1, not 2, even
+        // though the tombstone still sits in day 3's bucket.
+        q.schedule(Cycles(3), 1);
+        let s = EventSchedule::stats(&q);
+        assert_eq!(s.pending_peak, 1);
+        assert_eq!(s.wheel_peak, 1);
+        assert_eq!(q.pop(), Some((Cycles(3), 1)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! assert_eq!(h.stats().popped, 1);
 //! ```
 
+pub mod arena;
 pub mod calendar;
 pub mod outbox;
 pub mod queue;
@@ -55,6 +56,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::EventHandle;
 pub use calendar::CalendarSchedule;
 pub use outbox::{Outbox, OutboxStats};
 pub use queue::{EventQueue, EventSchedule, HeapSchedule, QueueStats, SchedKind, HOLD_BUCKETS};

@@ -2,7 +2,7 @@
 //!
 //! Two interchangeable schedulers implement the [`EventSchedule`] trait:
 //!
-//! * [`HeapSchedule`] — the classic `BinaryHeap` future-event set,
+//! * [`HeapSchedule`] — an implicit 4-ary min-heap future-event set,
 //!   O(log n) per operation;
 //! * [`CalendarSchedule`](crate::calendar::CalendarSchedule) — a
 //!   calendar queue (bucketed wheel over [`SimTime`] with an overflow
@@ -16,46 +16,142 @@
 //! (`calendar` is the default). Selection by environment variable is the
 //! business of `cedar_obs::RunOptions::from_env`, not this crate.
 //!
+//! ## Zero-allocation steady state
+//!
+//! The ordering structures store plain [`schedule`](EventSchedule::schedule)d
+//! payloads inline in their entries — no indirection, no per-event
+//! allocation once the structures have grown to the peak pending
+//! population. Only [`schedule_cancellable`](EventSchedule::schedule_cancellable)
+//! routes the payload through the slab-recycled [`EventArena`] shared by
+//! the calendar wheel and the overflow heap: the entry then carries a
+//! generation-tagged handle, giving O(1) [`cancel`](EventQueue::cancel)
+//! — a cancelled event's entry stays behind as a tombstone and is swept
+//! out when it surfaces. Arena slots are recycled through a free list,
+//! so the cancellable tier is allocation-free in steady state too.
+//!
 //! Every implementation keeps cheap always-on self-telemetry counters
-//! (events scheduled and popped, peak pending population, and a
-//! power-of-two histogram of scheduling distances) surfaced through
+//! (events scheduled, popped and cancelled, peak pending population, and
+//! a power-of-two histogram of scheduling distances) surfaced through
 //! [`QueueStats`] — the paper's measurement discipline applied to the
 //! simulator's own hot loop.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::arena::{EventArena, EventHandle};
 use crate::calendar::CalendarSchedule;
 use crate::time::SimTime;
 
-/// A pending event: fire time, tie-break sequence, payload.
-pub(crate) struct Pending<E> {
-    pub(crate) at: SimTime,
-    pub(crate) seq: u64,
-    pub(crate) payload: E,
+/// Packs a `(fire time, sequence)` ordering key into one `u128` whose
+/// natural integer order is exactly the lexicographic event order.
+#[inline]
+pub(crate) fn order_key(at: SimTime, seq: u64) -> u128 {
+    ((at.0 as u128) << 64) | seq as u128
 }
 
-impl<E> PartialEq for Pending<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+/// Fire time half of an [`order_key`].
+#[inline]
+pub(crate) fn key_time(key: u128) -> SimTime {
+    crate::time::Cycles((key >> 64) as u64)
+}
+
+/// One pending-event entry: the payload itself for the plain-schedule
+/// fast path, or an arena handle for cancellable events. `Taken` marks
+/// a calendar-bucket slot whose payload has already been drained (the
+/// slot is dead until its bucket resets; it never reaches a consumer).
+pub(crate) enum Entry<E> {
+    Inline(E),
+    Pooled(EventHandle),
+    Taken,
+}
+
+impl<E> Entry<E> {
+    /// `true` for entries whose event is still pending (inline entries
+    /// always are; pooled ones unless cancelled; `Taken` never).
+    #[inline]
+    pub(crate) fn is_live(&self, arena: &EventArena<E>) -> bool {
+        match self {
+            Entry::Inline(_) => true,
+            Entry::Pooled(h) => arena.is_live(*h),
+            Entry::Taken => false,
+        }
     }
 }
-impl<E> Eq for Pending<E> {}
 
-impl<E> PartialOrd for Pending<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+/// One min-heap node: a packed order key plus its entry. The `Ord` impl
+/// is *inverted* (greater key ⇒ lesser node) so the max-heap semantics
+/// of [`std::collections::BinaryHeap`] pop the minimum key.
+struct Node<E> {
+    key: u128,
+    entry: Entry<E>,
+}
+
+impl<E> PartialEq for Node<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Node<E> {}
+impl<E> PartialOrd for Node<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
+impl<E> Ord for Node<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key.cmp(&self.key)
+    }
+}
 
-impl<E> Ord for Pending<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, on ties,
-        // the first-scheduled) event is popped first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+/// A min-heap over `(order key, entry)` pairs — a thin wrapper around
+/// the standard binary heap with the ordering inverted to pop minima.
+/// Shared by [`HeapSchedule`] and the calendar queue's overflow tier.
+///
+/// Measured alternatives lost to this: a hand-rolled 4-ary heap with
+/// swap-based sifts ran ~2× slower on the hold benchmark despite
+/// touching half the levels, because the standard heap's hole-based
+/// sift moves each node once per level (and sift-down-to-bottom skips
+/// the per-level early-exit comparison entirely).
+pub(crate) struct MinHeap<E> {
+    heap: std::collections::BinaryHeap<Node<E>>,
+}
+
+impl<E> MinHeap<E> {
+    pub(crate) fn new() -> Self {
+        MinHeap {
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        MinHeap {
+            heap: std::collections::BinaryHeap::with_capacity(cap),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, key: u128, entry: Entry<E>) {
+        self.heap.push(Node { key, entry });
+    }
+
+    #[inline]
+    pub(crate) fn peek(&self) -> Option<(u128, &Entry<E>)> {
+        self.heap.peek().map(|n| (n.key, &n.entry))
+    }
+
+    #[inline]
+    pub(crate) fn pop(&mut self) -> Option<(u128, Entry<E>)> {
+        self.heap.pop().map(|n| (n.key, n.entry))
+    }
+
+    /// Removes cancelled-event tombstones from the root so that
+    /// [`peek`](Self::peek) always reports a live event. Called after
+    /// any operation that can surface a stale entry at the root; a
+    /// no-op (one root inspection) when the root is inline or live.
+    pub(crate) fn purge_stale(&mut self, arena: &EventArena<E>) {
+        while let Some((_, entry)) = self.peek() {
+            if entry.is_live(arena) {
+                break;
+            }
+            self.pop();
+        }
     }
 }
 
@@ -67,8 +163,25 @@ impl<E> Ord for Pending<E> {
 /// event's own. Simulation determinism rests on this ordering, so it is
 /// exact — not "time order with arbitrary tie-breaks".
 pub trait EventSchedule<E> {
-    /// Schedules `payload` to fire at absolute time `at`.
-    fn schedule(&mut self, at: SimTime, payload: E);
+    /// Schedules `payload` to fire at absolute time `at`. The payload is
+    /// stored inline in the ordering structure — the cheapest path, used
+    /// by all non-revocable traffic.
+    fn schedule(&mut self, at: SimTime, payload: E) {
+        let _ = self.schedule_cancellable(at, payload);
+    }
+
+    /// Schedules `payload` to fire at `at` and returns a handle that can
+    /// revoke it via [`cancel`](Self::cancel). The payload is pooled in
+    /// the event arena rather than stored inline.
+    fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle;
+
+    /// Revokes a pending event in O(1). Returns `false` when the handle
+    /// is stale (the event already fired or was already cancelled).
+    ///
+    /// A cancelled event never pops; its occupancy and hold-histogram
+    /// contributions are reversed immediately, so an event cancelled and
+    /// re-scheduled counts exactly once in [`QueueStats`].
+    fn cancel(&mut self, handle: EventHandle) -> bool;
 
     /// Removes and returns the earliest pending event, or `None` if empty.
     fn pop(&mut self) -> Option<(SimTime, E)>;
@@ -100,22 +213,29 @@ pub const HOLD_BUCKETS: usize = 16;
 /// stay on unconditionally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Events ever scheduled.
+    /// Events ever scheduled (monotonic; includes later-cancelled ones).
     pub scheduled: u64,
     /// Events ever popped.
     pub popped: u64,
-    /// Peak pending population.
+    /// Events cancelled before firing.
+    pub cancelled: u64,
+    /// Peak pending population (live events only — a cancel immediately
+    /// releases its occupancy, so a cancel-and-reschedule within one
+    /// cycle-day raises the population once, not twice).
     pub pending_peak: u64,
     /// Events that missed the calendar wheel's horizon and spilled to
     /// the overflow heap (always 0 for the heap scheduler).
     pub overflow_spills: u64,
-    /// Peak population on the calendar wheel proper (always 0 for the
-    /// heap scheduler).
+    /// Peak live population on the calendar wheel proper (always 0 for
+    /// the heap scheduler).
     pub wheel_peak: u64,
     /// Histogram of hold distances — how far ahead of the most recent
     /// pop each event was scheduled. Bucket 0 counts zero-cycle
     /// distances; bucket `k ≥ 1` counts distances in
     /// `[2^(k-1), 2^k)`; the last bucket absorbs everything beyond.
+    /// Counts *pending or fired* schedulings: a cancel removes the
+    /// event's bucket entry, so a cancelled-and-rescheduled event is
+    /// histogrammed exactly once.
     pub hold_hist: [u64; HOLD_BUCKETS],
 }
 
@@ -124,6 +244,7 @@ impl QueueStats {
         QueueStats {
             scheduled: 0,
             popped: 0,
+            cancelled: 0,
             pending_peak: 0,
             overflow_spills: 0,
             wheel_peak: 0,
@@ -131,26 +252,44 @@ impl QueueStats {
         }
     }
 
-    /// Records one scheduling of an event `distance` cycles ahead of the
-    /// most recent pop, with `pending` events now in the set.
-    pub(crate) fn on_schedule(&mut self, distance: u64, pending: usize) {
-        self.scheduled += 1;
-        self.pending_peak = self.pending_peak.max(pending as u64);
-        let bucket = if distance == 0 {
+    /// Hold-histogram bucket for a scheduling `distance` cycles ahead of
+    /// the most recent pop.
+    pub(crate) fn bucket_of(distance: u64) -> u8 {
+        if distance == 0 {
             0
         } else {
-            (HOLD_BUCKETS - 1).min(64 - distance.leading_zeros() as usize)
-        };
-        self.hold_hist[bucket] += 1;
+            (HOLD_BUCKETS - 1).min(64 - distance.leading_zeros() as usize) as u8
+        }
+    }
+
+    /// Records one scheduling into hold bucket `bucket`, with `pending`
+    /// live events now in the set.
+    #[inline]
+    pub(crate) fn on_schedule(&mut self, bucket: u8, pending: usize) {
+        self.scheduled += 1;
+        self.pending_peak = self.pending_peak.max(pending as u64);
+        self.hold_hist[bucket as usize] += 1;
+    }
+
+    /// Reverses the per-event contribution of one scheduling (the event
+    /// was cancelled before firing).
+    pub(crate) fn on_cancel(&mut self, bucket: u8) {
+        self.cancelled += 1;
+        self.hold_hist[bucket as usize] -= 1;
     }
 }
 
-/// The `BinaryHeap`-backed future-event set: O(log n) schedule and pop.
+/// The 4-ary-min-heap-backed future-event set: O(log n) schedule and
+/// pop.
 ///
 /// Kept as the reference implementation for A/B verification of the
-/// calendar queue (`CEDAR_SCHED=heap`).
+/// calendar queue (`CEDAR_SCHED=heap`). Plain payloads live inline in
+/// the heap entries; cancellable ones in the shared [`EventArena`].
 pub struct HeapSchedule<E> {
-    heap: BinaryHeap<Pending<E>>,
+    heap: MinHeap<E>,
+    arena: EventArena<E>,
+    /// Live pending events (inline plus uncancelled pooled).
+    live: usize,
     next_seq: u64,
     stats: QueueStats,
     last_popped: SimTime,
@@ -165,7 +304,9 @@ impl<E> HeapSchedule<E> {
     /// Creates an empty schedule with room for `cap` pending events.
     pub fn with_capacity(cap: usize) -> Self {
         HeapSchedule {
-            heap: BinaryHeap::with_capacity(cap),
+            heap: MinHeap::with_capacity(cap),
+            arena: EventArena::new(),
+            live: 0,
             next_seq: 0,
             stats: QueueStats::new(),
             last_popped: SimTime::ZERO,
@@ -177,25 +318,68 @@ impl<E> EventSchedule<E> for HeapSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Pending { at, seq, payload });
-        self.stats
-            .on_schedule(at.0.saturating_sub(self.last_popped.0), self.heap.len());
+        let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
+        self.live += 1;
+        self.heap.push(order_key(at, seq), Entry::Inline(payload));
+        self.stats.on_schedule(bucket, self.live);
+    }
+
+    fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
+        let handle = self.arena.alloc(payload, bucket, false);
+        self.live += 1;
+        self.heap.push(order_key(at, seq), Entry::Pooled(handle));
+        self.stats.on_schedule(bucket, self.live);
+        handle
+    }
+
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        match self.arena.cancel(handle) {
+            Some((bucket, _)) => {
+                debug_assert!(
+                    self.arena.live() < self.live,
+                    "pooled live population must stay a subset of the total"
+                );
+                self.live -= 1;
+                self.stats.on_cancel(bucket);
+                // Keep the root live so `peek_time` stays exact.
+                self.heap.purge_stale(&self.arena);
+                true
+            }
+            None => false,
+        }
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|p| {
+        loop {
+            let (key, entry) = self.heap.pop()?;
+            let payload = match entry {
+                Entry::Inline(payload) => payload,
+                Entry::Pooled(handle) => match self.arena.take(handle) {
+                    Some(payload) => payload,
+                    // Cancelled tombstone: swept, not counted as a pop.
+                    None => continue,
+                },
+                Entry::Taken => unreachable!("Taken entries never enter the heap"),
+            };
+            self.heap.purge_stale(&self.arena);
+            let at = key_time(key);
+            self.live -= 1;
             self.stats.popped += 1;
-            self.last_popped = p.at;
-            (p.at, p.payload)
-        })
+            self.last_popped = at;
+            return Some((at, payload));
+        }
     }
 
     fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|p| p.at)
+        // The root is always live (stale roots are purged on cancel/pop).
+        self.heap.peek().map(|(key, _)| key_time(key))
     }
 
     fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     fn scheduled_total(&self) -> u64 {
@@ -216,7 +400,7 @@ impl<E> Default for HeapSchedule<E> {
 /// Which pending-event set implementation an [`EventQueue`] uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedKind {
-    /// `BinaryHeap` future-event set ([`HeapSchedule`]).
+    /// 4-ary min-heap future-event set ([`HeapSchedule`]).
     Heap,
     /// Calendar queue ([`CalendarSchedule`](crate::calendar::CalendarSchedule)).
     Calendar,
@@ -281,6 +465,8 @@ impl std::str::FromStr for SchedKind {
 /// let mut q = EventQueue::new();
 /// q.schedule(Cycles(10), 'b');
 /// q.schedule(Cycles(2), 'a');
+/// let pending = q.schedule_cancellable(Cycles(5), 'x');
+/// assert!(q.cancel(pending));
 /// assert_eq!(q.pop(), Some((Cycles(2), 'a')));
 /// assert_eq!(q.pop(), Some((Cycles(10), 'b')));
 /// assert_eq!(q.pop(), None);
@@ -322,7 +508,7 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Creates an empty `BinaryHeap`-backed queue.
+    /// Creates an empty heap-backed queue.
     pub fn heap() -> Self {
         EventQueue(QueueImpl::Heap(HeapSchedule::new()))
     }
@@ -345,6 +531,22 @@ impl<E> EventQueue<E> {
         match &mut self.0 {
             QueueImpl::Heap(q) => q.schedule(at, payload),
             QueueImpl::Calendar(q) => q.schedule(at, payload),
+        }
+    }
+
+    /// Schedules `payload` at `at`, returning a cancellation handle.
+    pub fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
+        match &mut self.0 {
+            QueueImpl::Heap(q) => q.schedule_cancellable(at, payload),
+            QueueImpl::Calendar(q) => q.schedule_cancellable(at, payload),
+        }
+    }
+
+    /// Revokes a pending event in O(1); `false` when the handle is stale.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        match &mut self.0 {
+            QueueImpl::Heap(q) => EventSchedule::cancel(q, handle),
+            QueueImpl::Calendar(q) => EventSchedule::cancel(q, handle),
         }
     }
 
@@ -398,6 +600,12 @@ impl<E> EventQueue<E> {
 impl<E> EventSchedule<E> for EventQueue<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
         EventQueue::schedule(self, at, payload);
+    }
+    fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
+        EventQueue::schedule_cancellable(self, at, payload)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        EventQueue::cancel(self, handle)
     }
     fn pop(&mut self) -> Option<(SimTime, E)> {
         EventQueue::pop(self)
@@ -554,6 +762,105 @@ mod tests {
             let s = q.stats();
             assert_eq!(s.hold_hist[HOLD_BUCKETS - 1], 1, "tail bucket absorbs");
             assert_eq!(s.pending_peak, 3, "peak is a high-water mark");
+        });
+    }
+
+    #[test]
+    fn cancelled_events_never_pop() {
+        both(|mut q| {
+            q.schedule(Cycles(10), 1);
+            let doomed = q.schedule_cancellable(Cycles(5), 2);
+            q.schedule(Cycles(20), 3);
+            assert_eq!(q.len(), 3);
+            assert!(q.cancel(doomed));
+            assert!(!q.cancel(doomed), "second cancel sees a stale handle");
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.peek_time(), Some(Cycles(10)), "peek skips the ghost");
+            assert_eq!(q.pop(), Some((Cycles(10), 1)));
+            assert_eq!(q.pop(), Some((Cycles(20), 3)));
+            assert_eq!(q.pop(), None);
+            let s = q.stats();
+            assert_eq!(s.cancelled, 1);
+            assert_eq!(s.popped, 2);
+        });
+    }
+
+    #[test]
+    fn handle_goes_stale_after_pop() {
+        both(|mut q| {
+            let h = q.schedule_cancellable(Cycles(1), 42);
+            assert_eq!(q.pop(), Some((Cycles(1), 42)));
+            assert!(!q.cancel(h), "fired events cannot be cancelled");
+        });
+    }
+
+    /// Regression test for the cancel-and-reschedule double count: the
+    /// occupancy (pending peak) and the hold histogram must each count a
+    /// cancelled-and-rescheduled event exactly once, even when the
+    /// cancel and the replacement land in the same cycle-day.
+    #[test]
+    fn cancel_reschedule_same_day_counts_once() {
+        both(|mut q| {
+            // Advance the clock so distances are non-trivial.
+            q.schedule(Cycles(100), 0);
+            assert_eq!(q.pop(), Some((Cycles(100), 0)));
+            let baseline = q.stats();
+            // Schedule at t=103 (distance 3 → bucket 2), think better of
+            // it, and rebook the same work in the same cycle-day.
+            let h = q.schedule_cancellable(Cycles(103), 7);
+            assert!(q.cancel(h));
+            q.schedule(Cycles(103), 8);
+            let s = q.stats();
+            let hist_delta: u64 = s
+                .hold_hist
+                .iter()
+                .zip(baseline.hold_hist.iter())
+                .map(|(a, b)| a - b)
+                .sum();
+            assert_eq!(hist_delta, 1, "histogram counts the event once");
+            assert_eq!(
+                s.pending_peak, baseline.pending_peak,
+                "occupancy peak unchanged: the ghost freed its slot first"
+            );
+            assert_eq!(s.scheduled - baseline.scheduled, 2, "both calls counted");
+            assert_eq!(s.cancelled - baseline.cancelled, 1);
+            assert_eq!(q.pop(), Some((Cycles(103), 8)));
+        });
+    }
+
+    #[test]
+    fn cancel_interleaves_with_pop_order() {
+        both(|mut q| {
+            let mut handles = Vec::new();
+            for i in 0..50 {
+                handles.push(q.schedule_cancellable(Cycles(i as u64), i));
+            }
+            // Cancel every odd event.
+            for (i, h) in handles.iter().enumerate() {
+                if i % 2 == 1 {
+                    assert!(q.cancel(*h));
+                }
+            }
+            let popped: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            let want: Vec<i64> = (0..50).filter(|i| i % 2 == 0).collect();
+            assert_eq!(popped, want);
+        });
+    }
+
+    #[test]
+    fn mixed_inline_and_cancellable_interleave_exactly() {
+        both(|mut q| {
+            // Inline and pooled entries must obey one global (time, seq)
+            // order regardless of which tier stores them.
+            q.schedule(Cycles(5), 0);
+            let h = q.schedule_cancellable(Cycles(5), 1);
+            q.schedule(Cycles(5), 2);
+            let _keep = q.schedule_cancellable(Cycles(4), 3);
+            assert_eq!(q.pop(), Some((Cycles(4), 3)));
+            assert!(q.cancel(h));
+            assert_eq!(q.pop(), Some((Cycles(5), 0)));
+            assert_eq!(q.pop(), Some((Cycles(5), 2)));
+            assert_eq!(q.pop(), None);
         });
     }
 }

@@ -12,8 +12,6 @@
 //! raised on its cluster to obtain the single-CE execution thread the
 //! fault handler needs.
 
-use std::collections::HashMap;
-
 use cedar_hw::addr::PageId;
 use cedar_hw::CeId;
 use cedar_sim::{Cycles, SimTime};
@@ -50,9 +48,42 @@ pub enum PageTouch {
     },
 }
 
-#[derive(Debug, Clone)]
-struct InFlight {
-    mapped_at: SimTime,
+/// Growable bitmap over page ids.
+///
+/// The layout allocator hands out addresses densely from the bottom of
+/// the global address space, so page ids are small and dense — a bitmap
+/// is both compact (one bit per page up to the highest page touched) and
+/// allocation-free on the touch hot path once grown. This replaces a
+/// hash probe per touched page per vector access with a shift-and-mask.
+#[derive(Debug, Clone, Default)]
+struct PageBitmap {
+    bits: Vec<u64>,
+    count: usize,
+}
+
+impl PageBitmap {
+    fn contains(&self, page: PageId) -> bool {
+        match self.bits.get((page.0 / 64) as usize) {
+            Some(word) => word & (1 << (page.0 % 64)) != 0,
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, page: PageId) {
+        let word = (page.0 / 64) as usize;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1 << (page.0 % 64);
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.count += 1;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
 }
 
 /// The demand-paged address space shared by an application's cluster
@@ -78,8 +109,11 @@ struct InFlight {
 pub struct AddressSpace {
     seq_cost: Cycles,
     conc_cost: Cycles,
-    mapped: HashMap<PageId, ()>,
-    in_flight: HashMap<PageId, InFlight>,
+    mapped: PageBitmap,
+    /// Faults currently being serviced, `(page, mapped_at)`. At most a
+    /// handful are ever in flight at once (one per concurrently faulting
+    /// page), so a linear scan beats a hash probe and allocates nothing.
+    in_flight: Vec<(PageId, SimTime)>,
     seq_faults: u64,
     conc_faults: u64,
     injected_seq: u64,
@@ -92,8 +126,8 @@ impl AddressSpace {
         AddressSpace {
             seq_cost: cfg.page_fault_sequential,
             conc_cost: cfg.page_fault_concurrent,
-            mapped: HashMap::new(),
-            in_flight: HashMap::new(),
+            mapped: PageBitmap::default(),
+            in_flight: Vec::new(),
             seq_faults: 0,
             conc_faults: 0,
             injected_seq: 0,
@@ -104,20 +138,21 @@ impl AddressSpace {
     /// CE `ce` touches `page` at `now`.
     pub fn touch(&mut self, page: PageId, ce: CeId, now: SimTime) -> PageTouch {
         let _ = ce; // classification does not depend on the toucher's id
-        if self.mapped.contains_key(&page) {
+        if self.mapped.contains(page) {
             return PageTouch::Mapped;
         }
-        if let Some(fault) = self.in_flight.get(&page) {
-            if now >= fault.mapped_at {
+        if let Some(i) = self.in_flight.iter().position(|&(p, _)| p == page) {
+            let (_, fault_mapped_at) = self.in_flight[i];
+            if now >= fault_mapped_at {
                 // The earlier fault has completed by now; promote the page.
-                self.in_flight.remove(&page);
-                self.mapped.insert(page, ());
+                self.in_flight.swap_remove(i);
+                self.mapped.insert(page);
                 return PageTouch::Mapped;
             }
             // Concurrent fault: wait out the in-flight mapping, then pay
             // the (higher) concurrent service cost.
             self.conc_faults += 1;
-            let resume_at = fault.mapped_at + self.conc_cost;
+            let resume_at = fault_mapped_at + self.conc_cost;
             return PageTouch::Fault {
                 class: FaultClass::Concurrent,
                 resume_at,
@@ -128,7 +163,7 @@ impl AddressSpace {
         // Sequential fault: map after the sequential service time.
         self.seq_faults += 1;
         let mapped_at = now + self.seq_cost;
-        self.in_flight.insert(page, InFlight { mapped_at });
+        self.in_flight.push((page, mapped_at));
         PageTouch::Fault {
             class: FaultClass::Sequential,
             resume_at: mapped_at,
@@ -139,22 +174,21 @@ impl AddressSpace {
 
     /// Garbage-collects completed in-flight faults (called opportunistically).
     pub fn settle(&mut self, now: SimTime) {
-        let done: Vec<PageId> = self
-            .in_flight
-            .iter()
-            .filter(|(_, f)| now >= f.mapped_at)
-            .map(|(p, _)| *p)
-            .collect();
-        for p in done {
-            self.in_flight.remove(&p);
-            self.mapped.insert(p, ());
-        }
+        let mapped = &mut self.mapped;
+        self.in_flight.retain(|&(p, mapped_at)| {
+            if now >= mapped_at {
+                mapped.insert(p);
+                false
+            } else {
+                true
+            }
+        });
     }
 
     /// Pre-maps `page` without a fault (program text, stacks — anything
     /// warmed before the measured region).
     pub fn premap(&mut self, page: PageId) {
-        self.mapped.insert(page, ());
+        self.mapped.insert(page);
     }
 
     /// Pages currently mapped.

@@ -33,6 +33,9 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline (workspace, debug)"
 cargo test -q --offline --workspace
 
+echo "==> per-suite integration-test timings (soft 60s ceiling)"
+./scripts/test_times.sh
+
 echo "==> bench harness smoke pass (BENCH_SMOKE=1: 1 iteration, no warmup)"
 BENCH_SMOKE=1 cargo bench --offline -p cedar-bench
 

@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Per-suite wall-clock timing for the root integration tests.
+#
+#   ./scripts/test_times.sh             # what CI runs
+#
+# Runs every suite under tests/ one at a time, records its wall-clock
+# in results/TEST_times.json, and prints a *soft* warning for any suite
+# over the ceiling (TEST_TIME_LIMIT, default 60 s). The warning never
+# fails the build — it exists so a suite that quietly grows into a
+# multi-minute monster shows up in CI logs before it hurts, with the
+# JSON history alongside the bench results for trend-watching.
+#
+# Fresh TEST_times.json files are gitignored, like BENCH_*.json.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+LIMIT="${TEST_TIME_LIMIT:-60}"
+OUT=results/TEST_times.json
+mkdir -p results
+
+# Compile everything up front so the timings measure tests, not builds.
+cargo test -q --offline --no-run >/dev/null 2>&1
+
+{
+    echo '{'
+    echo '  "unit": "seconds",'
+    echo "  \"warn_over\": $LIMIT,"
+    echo '  "suites": {'
+} > "$OUT.tmp"
+
+slow=""
+first=1
+for f in tests/*.rs; do
+    name=$(basename "$f" .rs)
+    start=$(date +%s%N)
+    cargo test -q --offline --test "$name" >/dev/null
+    end=$(date +%s%N)
+    elapsed=$(awk "BEGIN{printf \"%.2f\", ($end - $start) / 1e9}")
+    [ "$first" = 1 ] || echo ',' >> "$OUT.tmp"
+    first=0
+    printf '    "%s": %s' "$name" "$elapsed" >> "$OUT.tmp"
+    echo "    $name: ${elapsed}s"
+    over=$(awk "BEGIN{print ($elapsed > $LIMIT) ? 1 : 0}")
+    [ "$over" = 1 ] && slow="$slow $name(${elapsed}s)"
+done
+
+{
+    echo ''
+    echo '  }'
+    echo '}'
+} >> "$OUT.tmp"
+mv "$OUT.tmp" "$OUT"
+echo "    wrote $OUT"
+
+if [ -n "$slow" ]; then
+    echo "warning: integration suites over ${LIMIT}s:$slow" >&2
+    echo "warning: keep suites fast or split them (soft ceiling, not a failure)" >&2
+fi
