@@ -19,7 +19,9 @@ fn mini_campaign() -> SuiteResult {
     SuiteResult::measure(
         &apps,
         &[Configuration::P1, Configuration::P8, Configuration::P32],
-        cedar_bench::run_options(),
+        // bench_options, not run_options: regeneration timings must
+        // reflect real simulation even when the cache is enabled.
+        cedar_bench::bench_options(),
     )
 }
 

@@ -4,13 +4,15 @@
 //! clustering hardware during work distribution; the flat one pays at
 //! the global iteration lock.
 use cedar_apps::synthetic;
-use cedar_core::{pool, Experiment, SimConfig};
+use cedar_core::{pool, CacheSession, SimConfig};
 use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
 fn main() {
     let opts = cedar_bench::run_options();
     let workers = opts.workers.unwrap_or_else(pool::default_workers);
+    let session = CacheSession::new(opts);
+    let session = &session;
     println!("Construct ablation: 20 steps x 2 loops of 128 iterations (c=1200, 8 words)");
     println!(
         "{:>8} | {:>14} | {:>14} | {:>10} | {:>12}",
@@ -26,11 +28,9 @@ fn main() {
                     let flat = synthetic::uniform_xdoall(20, 2, 128, 1200, 8);
                     let hier = synthetic::uniform_sdoall(20, 2, 16, 8, 1200, 8);
                     let rf =
-                        Experiment::new(flat, SimConfig::cedar(c).with_scheduler(opts.scheduler))
-                            .run();
+                        session.execute(&flat, SimConfig::cedar(c).with_scheduler(opts.scheduler));
                     let rh =
-                        Experiment::new(hier, SimConfig::cedar(c).with_scheduler(opts.scheduler))
-                            .run();
+                        session.execute(&hier, SimConfig::cedar(c).with_scheduler(opts.scheduler));
                     (rf, rh)
                 }
             })
@@ -61,4 +61,7 @@ fn main() {
     println!();
     println!("ratio > 1 means the flat construct is slower; the gap opens with");
     println!("the processor count as the iteration lock becomes a hot spot (S6).");
+    if let Some(c) = session.stats() {
+        println!("{}", cedar_report::tables::cache_line(&c));
+    }
 }

@@ -28,6 +28,9 @@ fn main() {
         );
         println!("CSV output written to results/");
     }
+    if let Some(c) = &suite.telemetry.cache {
+        println!("{}", cedar_report::tables::cache_line(c));
+    }
     match cedar_bench::manifest::write(suite, opts) {
         Ok(paths) => {
             for p in paths {

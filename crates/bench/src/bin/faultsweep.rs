@@ -16,7 +16,7 @@
 use std::fmt::Write as _;
 
 use cedar_core::prelude::FaultPlan;
-use cedar_core::{pool, Experiment, RunResult, SimConfig};
+use cedar_core::{pool, CacheSession, RunResult, SimConfig};
 use cedar_hw::Configuration;
 use cedar_xylem::OsActivity;
 
@@ -81,6 +81,8 @@ fn main() {
         .iter()
         .flat_map(|&c| LEVELS.iter().map(move |&l| (c, l)))
         .collect();
+    let session = CacheSession::new(opts);
+    let session = &session;
     let runs = pool::run_jobs(
         workers,
         cells
@@ -89,13 +91,12 @@ fn main() {
                 let app = flo52(shrink);
                 let sched = opts.scheduler;
                 move || {
-                    Experiment::new(
-                        app,
+                    session.execute(
+                        &app,
                         SimConfig::cedar(c)
                             .with_scheduler(sched)
                             .with_faults(FaultPlan::canonical_at(level)),
                     )
-                    .run()
                 }
             })
             .collect(),
@@ -150,5 +151,8 @@ fn main() {
         let path = dir.join("FAULTS_sensitivity.csv");
         std::fs::write(&path, csv(&results)).expect("write sensitivity CSV");
         println!("CSV written to {}", path.display());
+    }
+    if let Some(c) = session.stats() {
+        println!("{}", cedar_report::tables::cache_line(&c));
     }
 }

@@ -23,7 +23,10 @@ fn main() {
     let t = &suite.telemetry;
     let events = t.events_total();
     let ms = |ns: u64| ns as f64 / 1e6;
-    println!("mini campaign: {} runs, {events} events", apps.len() * configs.len());
+    println!(
+        "mini campaign: {} runs, {events} events",
+        apps.len() * configs.len()
+    );
     println!("  setup     {:>9.2} ms", ms(t.setup_ns));
     println!("  run       {:>9.2} ms", ms(t.run_ns));
     println!("  breakdown {:>9.2} ms", ms(t.breakdown_ns));
@@ -34,7 +37,10 @@ fn main() {
             .saturating_sub(t.setup_ns + t.run_ns + t.breakdown_ns)),
     );
     if events > 0 {
-        println!("  event loop: {:.1} ns/event", t.run_ns as f64 / events as f64);
+        println!(
+            "  event loop: {:.1} ns/event",
+            t.run_ns as f64 / events as f64
+        );
     }
     println!("hot-path counters:");
     for name in [

@@ -13,13 +13,15 @@
 
 use cedar_apps::synthetic;
 use cedar_core::methodology::contention_overhead;
-use cedar_core::{pool, Experiment, SimConfig};
+use cedar_core::{pool, CacheSession, SimConfig};
 use cedar_hw::Configuration;
 use cedar_trace::UserBucket;
 
 fn main() {
     let opts = cedar_bench::run_options();
     let workers = opts.workers.unwrap_or_else(pool::default_workers);
+    let session = CacheSession::new(opts);
+    let session = &session;
     println!("Sweep 1: xdoall granularity vs distribution overhead (32 proc)");
     println!(
         "{:>12} | {:>10} | {:>12} | {:>10}",
@@ -34,11 +36,10 @@ fn main() {
             .map(|&compute| {
                 move || {
                     let app = synthetic::uniform_xdoall(4, 2, 64, compute, 8);
-                    Experiment::new(
-                        app,
+                    session.execute(
+                        &app,
                         SimConfig::cedar(Configuration::P32).with_scheduler(opts.scheduler),
                     )
-                    .run()
                 }
             })
             .collect(),
@@ -80,16 +81,14 @@ fn main() {
             .map(|&words| {
                 move || {
                     let mk = || synthetic::uniform_sdoall(4, 2, 8, 16, 400, words);
-                    let base = Experiment::new(
-                        mk(),
+                    let base = session.execute(
+                        &mk(),
                         SimConfig::cedar(Configuration::P1).with_scheduler(opts.scheduler),
-                    )
-                    .run();
-                    let run = Experiment::new(
-                        mk(),
+                    );
+                    let run = session.execute(
+                        &mk(),
                         SimConfig::cedar(Configuration::P32).with_scheduler(opts.scheduler),
-                    )
-                    .run();
+                    );
                     (base, run)
                 }
             })
@@ -109,4 +108,7 @@ fn main() {
     println!();
     println!("Granularity buys off the distribution overhead; traffic buys it");
     println!("back as contention — the two levers behind Tables 1 and 4.");
+    if let Some(c) = session.stats() {
+        println!("{}", cedar_report::tables::cache_line(&c));
+    }
 }

@@ -48,6 +48,16 @@ pub fn run_options() -> &'static RunOptions {
     OPTS.get_or_init(RunOptions::from_env)
 }
 
+/// [`run_options`] with the run cache structurally forced off. The
+/// in-repo benchmarks (and through them the regression gate in
+/// `scripts/bench_check.sh`) measure **real simulation time**; replaying
+/// memoized results would make every number a lie, so the benches use
+/// this accessor and no `CEDAR_CACHE` setting can reach them.
+pub fn bench_options() -> &'static RunOptions {
+    static OPTS: OnceLock<RunOptions> = OnceLock::new();
+    OPTS.get_or_init(|| run_options().clone().with_cache(cedar_obs::CacheMode::Off))
+}
+
 /// The shrink factor of `opts` (1 = full scale).
 pub fn shrink_factor(opts: &RunOptions) -> u32 {
     opts.shrink

@@ -10,9 +10,12 @@
 //! `RUN_telemetry.jsonl` stream rides along — one JSON line per
 //! `(application, configuration)` run with that run's own counters.
 //!
-//! Every field except the `*_ns` wall-clock timings, `utilization`, and
-//! the `git` line is deterministic for a fixed configuration, so two
-//! manifests from identical runs diff clean once timings are masked.
+//! Every field except the `*_ns` wall-clock timings, `utilization`, the
+//! `git` line, and the `cache` traffic object is deterministic for a
+//! fixed configuration, so two manifests from identical runs diff clean
+//! once timings are masked. (The `cache` object varies by design: a cold
+//! campaign reports misses where a warm one reports hits, even though
+//! the measurements themselves are byte-identical.)
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -43,6 +46,7 @@ fn options_obj(opts: &RunOptions) -> String {
     o.bool("smoke", opts.smoke);
     o.str("telemetry", opts.telemetry.as_str());
     o.str("faults", &opts.faults.fingerprint());
+    o.str("cache", opts.cache.as_str());
     o.finish()
 }
 
@@ -91,6 +95,19 @@ pub fn manifest_json(suite: &SuiteResult, opts: &RunOptions) -> String {
             o.raw("pool", po.finish())
         }
         None => o.raw("pool", "null"),
+    };
+    match &t.cache {
+        Some(c) => {
+            let mut co = Obj::new();
+            co.str("mode", c.mode.as_str());
+            co.u64("hits", c.hits);
+            co.u64("misses", c.misses);
+            co.u64("writes", c.writes);
+            co.u64("bypasses", c.bypasses);
+            co.f64("hit_rate", c.hit_rate());
+            o.raw("cache", co.finish())
+        }
+        None => o.raw("cache", "null"),
     };
     o.raw("counters", counters_obj(&t.counters));
     let mut out = o.finish();
@@ -163,7 +180,29 @@ mod tests {
         assert!(m.contains("\"events.total\":"));
         assert!(m.contains("\"queue.scheduled\":"));
         assert!(m.contains("\"pool\":null"));
+        assert!(m.contains("\"cache\":null"));
+        assert!(m.contains("\"cache\":\"off\""));
         assert!(m.ends_with("}\n"));
+    }
+
+    #[test]
+    fn manifest_reports_cache_traffic_when_enabled() {
+        let dir = std::env::temp_dir().join(format!("cedar-manifest-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOptions::default()
+            .with_cache(cedar_obs::CacheMode::ReadWrite)
+            .with_output_dir(&dir);
+        let suite = tiny_suite(&opts);
+        let m = manifest_json(&suite, &opts);
+        assert!(m.contains("\"cache\":\"rw\""));
+        assert!(m.contains("\"cache\":{\"mode\":\"rw\",\"hits\":0,\"misses\":2,\"writes\":2"));
+        let warm = tiny_suite(&opts);
+        let m2 = manifest_json(&warm, &opts);
+        assert!(
+            m2.contains("\"hits\":2,\"misses\":0,\"writes\":0"),
+            "second identical campaign is all hits: {m2}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,368 @@
+//! The disk-backed store: `results/cache/` layout, atomic writes,
+//! defensive reads.
+//!
+//! Entry layout on disk (`<root>/<shard>/<key>.run`):
+//!
+//! ```text
+//! cedar-run-cache format=1 model=1
+//! key 0123456789abcdef0123456789abcdef
+//! payload_bytes 1234
+//! payload_fnv1a 0123456789abcdef
+//! ---
+//! <payload: CachedRun line records>
+//! ```
+//!
+//! Every read validates the magic, format version, model version, key
+//! echo, payload length and checksum before the payload is even parsed;
+//! any mismatch — a truncated write, a flipped bit, an entry from an
+//! older format or simulator — is a **miss**, counted but otherwise
+//! silent. Writes go to a `.tmp` sibling and are renamed into place, so
+//! readers never observe a half-written entry even under a concurrent
+//! campaign.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cedar_obs::json::fnv1a;
+use cedar_obs::CacheMode;
+
+use crate::key::RunKey;
+use crate::record::CachedRun;
+use crate::{FORMAT_VERSION, MODEL_VERSION};
+
+/// Snapshot of one cache session's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// The mode the session ran under.
+    pub mode: CacheMode,
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups that fell through to simulation (including corrupt or
+    /// stale entries, and every run under `Refresh`).
+    pub misses: u64,
+    /// Entries written (or overwritten).
+    pub writes: u64,
+    /// Experiments that skipped the cache entirely (trace-keeping
+    /// runs).
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups that went through cache policy.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction of the looked-up experiments (1.0 when nothing was
+    /// looked up).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// The content-addressed run store. Cheap to open (no I/O until the
+/// first lookup), safe to share across the worker pool (`&self`
+/// methods, atomic counters, atomic-rename writes).
+#[derive(Debug)]
+pub struct RunCache {
+    root: PathBuf,
+    mode: CacheMode,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl RunCache {
+    /// Opens (lazily) the store rooted at `root` for a session in
+    /// `mode`. The directory is created on first write, not here — a
+    /// read-only session over a missing directory just misses.
+    pub fn open(root: impl Into<PathBuf>, mode: CacheMode) -> RunCache {
+        RunCache {
+            root: root.into(),
+            mode,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The session's cache mode.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    /// The on-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &RunKey) -> PathBuf {
+        self.root
+            .join(key.shard())
+            .join(format!("{}.run", key.hex()))
+    }
+
+    /// Looks up `key`, validating the entry end to end. Any defect —
+    /// absent file, bad header, version skew, length or checksum
+    /// mismatch, undecodable payload — is counted and returned as a
+    /// miss; this method never panics and never propagates I/O errors.
+    pub fn get(&self, key: &RunKey) -> Option<CachedRun> {
+        match self.read_validated(key) {
+            Some(run) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(run)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn read_validated(&self, key: &RunKey) -> Option<CachedRun> {
+        let bytes = std::fs::read(self.entry_path(key)).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
+        let (header, payload) = text.split_once("---\n")?;
+        let mut lines = header.lines();
+        let magic = lines.next()?;
+        if magic != format!("cedar-run-cache format={FORMAT_VERSION} model={MODEL_VERSION}") {
+            return None;
+        }
+        if lines.next()? != format!("key {}", key.hex()) {
+            return None;
+        }
+        let declared_len: usize = lines.next()?.strip_prefix("payload_bytes ")?.parse().ok()?;
+        let declared_sum = lines.next()?.strip_prefix("payload_fnv1a ")?;
+        if payload.len() != declared_len {
+            return None;
+        }
+        if format!("{:016x}", fnv1a(payload.as_bytes())) != declared_sum {
+            return None;
+        }
+        CachedRun::decode(payload).ok()
+    }
+
+    /// Stores `run` under `key` via an atomic rename. Best-effort: an
+    /// I/O failure (read-only filesystem, disk full) leaves the cache
+    /// cold but the campaign unharmed, so errors are swallowed after
+    /// counting nothing.
+    pub fn put(&self, key: &RunKey, run: &CachedRun) {
+        if self.write_entry(key, run).is_ok() {
+            self.writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn write_entry(&self, key: &RunKey, run: &CachedRun) -> std::io::Result<()> {
+        let payload = run.encode();
+        let mut entry = String::with_capacity(payload.len() + 128);
+        entry.push_str(&format!(
+            "cedar-run-cache format={FORMAT_VERSION} model={MODEL_VERSION}\n"
+        ));
+        entry.push_str(&format!("key {}\n", key.hex()));
+        entry.push_str(&format!("payload_bytes {}\n", payload.len()));
+        entry.push_str(&format!(
+            "payload_fnv1a {:016x}\n",
+            fnv1a(payload.as_bytes())
+        ));
+        entry.push_str("---\n");
+        entry.push_str(&payload);
+
+        let path = self.entry_path(key);
+        let dir = path.parent().expect("entry path has a shard directory");
+        std::fs::create_dir_all(dir)?;
+        // Unique tmp name per process+thread so concurrent writers of
+        // the same key never clobber each other's half-written file;
+        // the final rename is atomic within the directory.
+        let tmp = dir.join(format!(
+            ".{}.{}.{:?}.tmp",
+            key.hex(),
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(entry.as_bytes())?;
+            f.sync_all()?;
+        }
+        let renamed = std::fs::rename(&tmp, &path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+
+    /// Counts one experiment that skipped cache policy entirely.
+    pub fn note_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one forced recomputation (the `Refresh` path, which never
+    /// reads).
+    pub fn note_refresh_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the session counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            mode: self.mode,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_hw::Configuration;
+    use cedar_obs::RunStats;
+    use cedar_sim::stats::LatencyHistogram;
+    use cedar_sim::Cycles;
+    use cedar_xylem::OsAccounting;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cedar-cache-store-{}-{tag}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_run() -> CachedRun {
+        CachedRun {
+            app: "T".to_string(),
+            configuration: Configuration::P1,
+            completion_time: Cycles(10),
+            breakdowns: vec![],
+            utilization: vec![],
+            os: OsAccounting::new(1),
+            concurrency: vec![1.0],
+            gmem: cedar_hw::gmem::GmemStats {
+                packets: 0,
+                cluster_path_queued: Cycles(0),
+                fwd_queued: Cycles(0),
+                rev_queued: Cycles(0),
+                module_queued: Cycles(0),
+                module_requests: vec![],
+                module_sync_requests: vec![],
+                latency: LatencyHistogram::new(2),
+                min_round_trip: Cycles(0),
+            },
+            background_stolen: Cycles(0),
+            bodies: 1,
+            faults: (0, 0),
+            events: 2,
+            stats: RunStats::default(),
+        }
+    }
+
+    #[test]
+    fn put_then_get_round_trips() {
+        let cache = RunCache::open(tmp_root("rt"), CacheMode::ReadWrite);
+        let key = RunKey::new("case=1");
+        assert!(cache.get(&key).is_none(), "cold cache misses");
+        cache.put(&key, &tiny_run());
+        let back = cache.get(&key).expect("hit after put");
+        assert_eq!(back.encode(), tiny_run().encode());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.writes), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn missing_directory_is_a_silent_miss() {
+        let cache = RunCache::open(tmp_root("missing"), CacheMode::ReadOnly);
+        assert!(cache.get(&RunKey::new("anything")).is_none());
+        assert!(!cache.root().exists(), "read must not create the store");
+    }
+
+    #[test]
+    fn header_validation_rejects_tampering() {
+        let cache = RunCache::open(tmp_root("tamper"), CacheMode::ReadWrite);
+        let key = RunKey::new("case=2");
+        cache.put(&key, &tiny_run());
+        let path = cache.entry_path(&key);
+        let pristine = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation: checksum/length catch it.
+        std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+        assert!(cache.get(&key).is_none());
+
+        // Bit flip in the payload: checksum catches it.
+        let mut flipped = pristine.clone().into_bytes();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x01;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(cache.get(&key).is_none());
+
+        // Wrong format version.
+        std::fs::write(
+            &path,
+            pristine.replacen(&format!("format={FORMAT_VERSION}"), "format=999", 1),
+        )
+        .unwrap();
+        assert!(cache.get(&key).is_none());
+
+        // Wrong model version.
+        std::fs::write(
+            &path,
+            pristine.replacen(&format!("model={MODEL_VERSION}"), "model=999", 1),
+        )
+        .unwrap();
+        assert!(cache.get(&key).is_none());
+
+        // Wrong key echo (an entry renamed to another address).
+        std::fs::write(
+            &path,
+            pristine.replacen(&key.hex(), &RunKey::new("other").hex(), 1),
+        )
+        .unwrap();
+        assert!(cache.get(&key).is_none());
+
+        // Restored pristine bytes hit again.
+        std::fs::write(&path, &pristine).unwrap();
+        assert!(cache.get(&key).is_some());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn entries_shard_by_key_prefix() {
+        let cache = RunCache::open(tmp_root("shard"), CacheMode::ReadWrite);
+        let key = RunKey::new("case=3");
+        let path = cache.entry_path(&key);
+        assert!(path.starts_with(cache.root().join(key.shard())));
+        assert!(path
+            .to_string_lossy()
+            .ends_with(&format!("{}.run", key.hex())));
+    }
+
+    #[test]
+    fn no_tmp_files_left_behind() {
+        let cache = RunCache::open(tmp_root("tmp"), CacheMode::ReadWrite);
+        let key = RunKey::new("case=4");
+        cache.put(&key, &tiny_run());
+        let shard = cache.root().join(key.shard());
+        let leftovers: Vec<_> = std::fs::read_dir(&shard)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be renamed away");
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+}

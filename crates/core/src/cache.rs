@@ -1,0 +1,194 @@
+//! The campaign-side face of the run cache: keying, result conversion,
+//! and the per-campaign [`CacheSession`].
+//!
+//! Correctness rests on the workspace's determinism theorem — an
+//! identical `(application, SimConfig)` pair produces a byte-identical
+//! [`RunResult`] (`tests/config_fuzz.rs` proves this continuously) — so
+//! replaying a stored result is indistinguishable from re-simulating,
+//! measurement for measurement. The key is the canonical `Debug` text of
+//! both values: every field that shapes the simulation (hardware
+//! configuration, OS/RTL cost models, seed, scheduler, event bound,
+//! background load, fault plan, and the full workload spec down to each
+//! phase) appears in that text, so any change re-keys the experiment.
+//! Behavior changes that do *not* alter the text must bump
+//! `cedar_cache::MODEL_VERSION` instead.
+
+use std::path::PathBuf;
+
+use cedar_apps::AppSpec;
+use cedar_cache::{CacheStats, CachedRun, RunCache, RunKey};
+use cedar_obs::{CacheMode, RunOptions};
+
+use crate::config::SimConfig;
+use crate::result::RunResult;
+use crate::run::execute;
+
+/// The content address of one `(application, configuration)` experiment.
+pub fn run_key(app: &AppSpec, cfg: &SimConfig) -> RunKey {
+    RunKey::new(&format!("app={app:?};cfg={cfg:?}"))
+}
+
+/// Projects a completed run into its cacheable mirror. The cedarhpm
+/// trace is dropped by design — trace-keeping runs never reach the
+/// cache (see [`CacheSession::execute`]).
+pub fn to_cached(r: &RunResult) -> CachedRun {
+    CachedRun {
+        app: r.app.to_string(),
+        configuration: r.configuration,
+        completion_time: r.completion_time,
+        breakdowns: r.breakdowns.clone(),
+        utilization: r.utilization.clone(),
+        os: r.os.clone(),
+        concurrency: r.concurrency.clone(),
+        gmem: r.gmem.clone(),
+        background_stolen: r.background_stolen,
+        bodies: r.bodies,
+        faults: r.faults,
+        events: r.events,
+        stats: r.stats.clone(),
+    }
+}
+
+/// Rehydrates a cached mirror into the [`RunResult`] the methodology
+/// layer consumes. The app name is interned back to `&'static str`.
+pub fn from_cached(c: CachedRun) -> RunResult {
+    RunResult {
+        app: cedar_cache::intern(&c.app),
+        configuration: c.configuration,
+        completion_time: c.completion_time,
+        breakdowns: c.breakdowns,
+        utilization: c.utilization,
+        os: c.os,
+        concurrency: c.concurrency,
+        gmem: c.gmem,
+        background_stolen: c.background_stolen,
+        bodies: c.bodies,
+        faults: c.faults,
+        events: c.events,
+        trace: None,
+        stats: c.stats,
+    }
+}
+
+/// Where the cache lives when the caller did not redirect output:
+/// `results/cache/` at the workspace root, next to the manifests.
+fn default_cache_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cache")
+}
+
+/// One campaign's cache handle: policy (from
+/// [`RunOptions::cache`]) plus the open store. Shareable by reference
+/// across the worker pool — all methods take `&self` and the store's
+/// counters are atomic.
+#[derive(Debug)]
+pub struct CacheSession {
+    cache: Option<RunCache>,
+}
+
+impl CacheSession {
+    /// Builds the session for `opts`. `CacheMode::Off` opens nothing
+    /// and makes [`execute`](Self::execute) a plain passthrough; other
+    /// modes open the store under `opts.output_dir`'s `cache/`
+    /// subdirectory (or the workspace `results/cache/`).
+    pub fn new(opts: &RunOptions) -> CacheSession {
+        let cache = match opts.cache {
+            CacheMode::Off => None,
+            mode => {
+                let root = opts
+                    .output_dir
+                    .as_ref()
+                    .map(|d| d.join("cache"))
+                    .unwrap_or_else(default_cache_root);
+                Some(RunCache::open(root, mode))
+            }
+        };
+        CacheSession { cache }
+    }
+
+    /// Runs one experiment through cache policy: serve a valid stored
+    /// entry, otherwise simulate and (in writing modes) store the
+    /// result. Trace-keeping runs bypass the cache entirely — the trace
+    /// is a debugging artifact that is never serialized, and silently
+    /// returning a traceless hit would break the caller.
+    pub fn execute(&self, app: &AppSpec, cfg: SimConfig) -> RunResult {
+        let Some(cache) = &self.cache else {
+            return execute(app, cfg);
+        };
+        if cfg.keep_trace {
+            cache.note_bypass();
+            return execute(app, cfg);
+        }
+        let key = run_key(app, &cfg);
+        if cache.mode().reads() {
+            if let Some(hit) = cache.get(&key) {
+                return from_cached(hit);
+            }
+        } else {
+            cache.note_refresh_miss();
+        }
+        let result = execute(app, cfg);
+        if cache.mode().writes() {
+            cache.put(&key, &to_cached(&result));
+        }
+        result
+    }
+
+    /// The session's traffic counters, `None` when the cache is off.
+    pub fn stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedar_apps::synthetic;
+    use cedar_hw::Configuration;
+
+    #[test]
+    fn keys_cover_app_and_config() {
+        let app = synthetic::uniform_xdoall(1, 2, 4, 100, 8);
+        let cfg = SimConfig::cedar(Configuration::P4);
+        let k = run_key(&app, &cfg);
+        assert_eq!(k, run_key(&app, &cfg), "keying is stable");
+        assert_ne!(
+            k,
+            run_key(&app, &SimConfig::cedar(Configuration::P8)),
+            "configuration changes the key"
+        );
+        assert_ne!(
+            k,
+            run_key(&app, &cfg.clone().with_seed(99)),
+            "seed changes the key"
+        );
+        let other = synthetic::uniform_xdoall(1, 2, 4, 101, 8);
+        assert_ne!(k, run_key(&other, &cfg), "workload changes the key");
+    }
+
+    #[test]
+    fn cached_round_trip_preserves_the_result() {
+        let app = synthetic::uniform_xdoall(1, 2, 8, 150, 8);
+        let cfg = SimConfig::cedar(Configuration::P4);
+        let direct = execute(&app, cfg.clone());
+        let replayed =
+            from_cached(CachedRun::decode(&to_cached(&direct).encode()).expect("decode"));
+        assert_eq!(direct.app, replayed.app);
+        assert!(std::ptr::eq(direct.app, replayed.app) || direct.app == replayed.app);
+        assert_eq!(direct.completion_time, replayed.completion_time);
+        assert_eq!(direct.events, replayed.events);
+        assert_eq!(
+            to_cached(&direct).encode(),
+            to_cached(&replayed).encode(),
+            "full measurement payload survives"
+        );
+    }
+
+    #[test]
+    fn off_session_is_a_passthrough() {
+        let session = CacheSession::new(&RunOptions::default());
+        assert!(session.stats().is_none());
+        let app = synthetic::uniform_xdoall(1, 1, 4, 100, 8);
+        let r = session.execute(&app, SimConfig::cedar(Configuration::P1));
+        assert!(r.completion_time.0 > 0);
+    }
+}

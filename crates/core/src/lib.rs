@@ -40,6 +40,7 @@
 //! assert_eq!(suite.apps.len(), 5);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod events;
 pub mod layout;
@@ -53,7 +54,9 @@ pub mod result;
 pub mod run;
 pub mod suite;
 
-pub use cedar_obs::{RunOptions, TelemetryLevel};
+pub use cache::CacheSession;
+pub use cedar_cache::CacheStats;
+pub use cedar_obs::{CacheMode, RunOptions, TelemetryLevel};
 pub use config::SimConfig;
 pub use pool::{PoolError, PoolStats};
 pub use result::RunResult;

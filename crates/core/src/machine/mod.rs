@@ -16,9 +16,7 @@ mod tests;
 use cedar_apps::AppSpec;
 use cedar_hw::cbus::CbusBarrier;
 use cedar_hw::ce::{Activity, CeEngine};
-use cedar_hw::{
-    CeId, ClusterId, GlobalAddr, GlobalMemorySystem, GmemEvent, MemOp, VectorAccess,
-};
+use cedar_hw::{CeId, ClusterId, GlobalAddr, GlobalMemorySystem, GmemEvent, MemOp, VectorAccess};
 use cedar_rtl::{FinishBarrier, WorkWaiter};
 use cedar_sim::{Cycles, EventQueue, Outbox, SimTime, SplitMix64};
 use cedar_trace::{HpmMonitor, QMonitor, Statfx, TraceEventId, UserBucket};

@@ -20,11 +20,13 @@
 //! `cedar-report`; the facade crate's `cedar::prelude` re-exports this
 //! prelude together with those entry points.
 
+pub use cedar_cache::CacheStats;
 pub use cedar_faults::FaultPlan;
 pub use cedar_hw::Configuration;
-pub use cedar_obs::{Counters, Recorder, RunOptions, RunStats, TelemetryLevel};
+pub use cedar_obs::{CacheMode, Counters, Recorder, RunOptions, RunStats, TelemetryLevel};
 pub use cedar_sim::SchedKind;
 
+pub use crate::cache::CacheSession;
 pub use crate::config::SimConfig;
 pub use crate::pool::{PoolError, PoolStats};
 pub use crate::result::RunResult;

@@ -14,13 +14,14 @@
 //! [`RunOptions::from_env`]), never from ambient `std::env` reads.
 
 use cedar_apps::AppSpec;
+use cedar_cache::CacheStats;
 use cedar_hw::Configuration;
 use cedar_obs::RunOptions;
 
+use crate::cache::CacheSession;
 use crate::config::SimConfig;
 use crate::pool::{self, PoolError, PoolStats};
 use crate::result::RunResult;
-use crate::run::execute;
 
 /// All configuration runs of one application.
 #[derive(Debug)]
@@ -64,13 +65,22 @@ pub struct SuiteTelemetry {
     pub wall_ns: u64,
     /// Pool telemetry, when the grid ran on the worker pool.
     pub pool: Option<PoolStats>,
+    /// Run-cache traffic (hits/misses/writes/bypasses), when the
+    /// campaign ran with a cache mode other than `Off`.
+    pub cache: Option<CacheStats>,
 }
 
 impl SuiteTelemetry {
-    fn from_runs(runs: &[RunResult], wall_ns: u64, pool: Option<PoolStats>) -> SuiteTelemetry {
+    fn from_runs(
+        runs: &[RunResult],
+        wall_ns: u64,
+        pool: Option<PoolStats>,
+        cache: Option<CacheStats>,
+    ) -> SuiteTelemetry {
         let mut t = SuiteTelemetry {
             wall_ns,
             pool,
+            cache,
             ..SuiteTelemetry::default()
         };
         for r in runs {
@@ -142,11 +152,17 @@ impl SuiteResult {
         opts: &RunOptions,
     ) -> SuiteResult {
         let wall = std::time::Instant::now();
+        let session = CacheSession::new(opts);
         let runs: Vec<_> = grid(apps, configurations)
             .into_iter()
-            .map(|(app, c)| execute(&app, cell_config(c, opts)))
+            .map(|(app, c)| session.execute(&app, cell_config(c, opts)))
             .collect();
-        let telemetry = SuiteTelemetry::from_runs(&runs, wall.elapsed().as_nanos() as u64, None);
+        let telemetry = SuiteTelemetry::from_runs(
+            &runs,
+            wall.elapsed().as_nanos() as u64,
+            None,
+            session.stats(),
+        );
         SuiteResult {
             apps: regroup(apps, configurations.len(), runs),
             telemetry,
@@ -164,17 +180,25 @@ impl SuiteResult {
         opts: &RunOptions,
     ) -> Result<SuiteResult, PoolError> {
         let wall = std::time::Instant::now();
+        // One session serves all workers: pool jobs borrow it (the pool
+        // runs on scoped threads) and its counters are atomic.
+        let session = CacheSession::new(opts);
         let jobs: Vec<_> = grid(apps, configurations)
             .into_iter()
             .map(|(app, c)| {
                 let cfg = cell_config(c, opts);
-                move || execute(&app, cfg)
+                let session = &session;
+                move || session.execute(&app, cfg)
             })
             .collect();
         let workers = opts.workers.unwrap_or_else(pool::default_workers);
         let (runs, pool_stats) = pool::run_jobs_timed(workers, jobs)?;
-        let telemetry =
-            SuiteTelemetry::from_runs(&runs, wall.elapsed().as_nanos() as u64, Some(pool_stats));
+        let telemetry = SuiteTelemetry::from_runs(
+            &runs,
+            wall.elapsed().as_nanos() as u64,
+            Some(pool_stats),
+            session.stats(),
+        );
         Ok(SuiteResult {
             apps: regroup(apps, configurations.len(), runs),
             telemetry,

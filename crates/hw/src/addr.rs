@@ -106,7 +106,9 @@ pub fn pages_touched(
 ) -> impl Iterator<Item = PageId> {
     let mut last: Option<PageId> = None;
     (0..words as u64).filter_map(move |k| {
-        let p = base.offset(k * stride_dwords * DWORD_BYTES).page(page_bytes);
+        let p = base
+            .offset(k * stride_dwords * DWORD_BYTES)
+            .page(page_bytes);
         if last == Some(p) {
             None
         } else {

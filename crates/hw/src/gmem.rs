@@ -166,7 +166,9 @@ impl GlobalMemorySystem {
             let rr = self.cluster_rr[cluster];
             debug_assert!(rr < ports, "round-robin cursor out of range");
             self.cluster_rr[cluster] = if rr + 1 == ports { 0 } else { rr + 1 };
-            let through = self.cluster_paths[cluster].get_mut(rr).accept(now, Cycles(1));
+            let through = self.cluster_paths[cluster]
+                .get_mut(rr)
+                .accept(now, Cycles(1));
             through - now
         } else {
             Cycles::ZERO

@@ -128,7 +128,9 @@ impl PortBank {
 
     /// Iterates the bank's ports in index order.
     pub fn iter(&self) -> impl Iterator<Item = &PortServer> {
-        self.inline[..self.inline_len].iter().chain(self.spill.iter())
+        self.inline[..self.inline_len]
+            .iter()
+            .chain(self.spill.iter())
     }
 }
 
@@ -158,7 +160,10 @@ impl Crossbar {
     ///
     /// Panics if `port` is out of range.
     pub fn transit(&mut self, port: u16, now: SimTime) -> SimTime {
-        let served_by = self.ports.get_mut(port as usize).accept(now, self.occupancy);
+        let served_by = self
+            .ports
+            .get_mut(port as usize)
+            .accept(now, self.occupancy);
         // The packet leaves the port when transmission completes, then
         // takes the stage latency to reach the next hop.
         served_by + self.latency

@@ -33,6 +33,6 @@ pub mod options;
 pub mod recorder;
 pub mod scratch;
 
-pub use options::{RunOptions, TelemetryLevel};
+pub use options::{CacheMode, RunOptions, TelemetryLevel};
 pub use recorder::{Counters, Recorder, RunStats, SpanStat, SpanToken};
 pub use scratch::ScratchCounters;

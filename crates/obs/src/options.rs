@@ -55,6 +55,66 @@ impl std::str::FromStr for TelemetryLevel {
     }
 }
 
+/// How a campaign uses the content-addressed run cache
+/// (`results/cache/`, implemented by the `cedar-cache` crate).
+///
+/// The cache memoizes *deterministic simulation results*, so using it is
+/// a wall-clock-only decision: every mode produces byte-identical
+/// measurements, and the mode therefore does **not** participate in
+/// [`RunOptions::fingerprint_seed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheMode {
+    /// Never touch the cache. The default: plain runs, benchmarks and
+    /// the bench-regression gate all measure real simulation.
+    #[default]
+    Off,
+    /// Serve hits from disk, write misses back. The campaign mode.
+    ReadWrite,
+    /// Serve hits, never write (e.g. CI jobs with a read-only mount).
+    ReadOnly,
+    /// Recompute everything and overwrite entries — a forced
+    /// repopulation after a suspected stale cache.
+    Refresh,
+}
+
+impl CacheMode {
+    /// Canonical name, as accepted by `CEDAR_CACHE`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheMode::Off => "off",
+            CacheMode::ReadWrite => "rw",
+            CacheMode::ReadOnly => "ro",
+            CacheMode::Refresh => "refresh",
+        }
+    }
+
+    /// Whether this mode ever reads entries.
+    pub fn reads(self) -> bool {
+        matches!(self, CacheMode::ReadWrite | CacheMode::ReadOnly)
+    }
+
+    /// Whether this mode ever writes entries.
+    pub fn writes(self) -> bool {
+        matches!(self, CacheMode::ReadWrite | CacheMode::Refresh)
+    }
+}
+
+impl std::str::FromStr for CacheMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" | "0" => Ok(CacheMode::Off),
+            "rw" | "readwrite" | "on" | "1" => Ok(CacheMode::ReadWrite),
+            "ro" | "readonly" => Ok(CacheMode::ReadOnly),
+            "refresh" => Ok(CacheMode::Refresh),
+            other => Err(format!(
+                "cache mode must be off|rw|ro|refresh, got `{other}`"
+            )),
+        }
+    }
+}
+
 /// One run's complete tool-level configuration.
 ///
 /// `SimConfig` still owns the *simulated machine* (hardware, OS and RTL
@@ -107,6 +167,10 @@ pub struct RunOptions {
     /// to each cell's `SimConfig` by the suite runners. Typed only — no
     /// environment variable sets it.
     pub faults: FaultPlan,
+    /// How the campaign layer uses the content-addressed run cache.
+    /// Wall-clock-only (results are deterministic), so it is excluded
+    /// from [`fingerprint_seed`](Self::fingerprint_seed).
+    pub cache: CacheMode,
 }
 
 impl Default for RunOptions {
@@ -121,6 +185,7 @@ impl Default for RunOptions {
             telemetry: TelemetryLevel::default(),
             output_dir: None,
             faults: FaultPlan::default(),
+            cache: CacheMode::default(),
         }
     }
 }
@@ -140,11 +205,13 @@ impl RunOptions {
     /// | `BENCH_ITERS`   | `bench_iters` | integer ≥ 1                  |
     /// | `BENCH_WARMUP`  | `bench_warmup`| integer ≥ 0                  |
     /// | `BENCH_JSON_DIR`| `output_dir`  | a directory path             |
+    /// | `CEDAR_CACHE`   | `cache`       | `off`, `rw`, `ro`, `refresh` |
     ///
     /// # Panics
     ///
-    /// Panics on a malformed `CEDAR_SCHED` or `CEDAR_OBS`, so a typo
-    /// fails loudly instead of silently running the wrong configuration.
+    /// Panics on a malformed `CEDAR_SCHED`, `CEDAR_OBS` or
+    /// `CEDAR_CACHE`, so a typo fails loudly instead of silently
+    /// running the wrong configuration.
     pub fn from_env() -> RunOptions {
         let var = |name: &str| std::env::var(name).ok().filter(|v| !v.is_empty());
         RunOptions {
@@ -166,6 +233,9 @@ impl RunOptions {
                 .unwrap_or_default(),
             output_dir: var("BENCH_JSON_DIR").map(PathBuf::from),
             faults: FaultPlan::default(),
+            cache: var("CEDAR_CACHE")
+                .map(|v| v.parse().unwrap_or_else(|e| panic!("CEDAR_CACHE: {e}")))
+                .unwrap_or_default(),
         }
     }
 
@@ -224,12 +294,18 @@ impl RunOptions {
         self
     }
 
+    /// Sets the run-cache mode (builder style).
+    pub fn with_cache(mut self, mode: CacheMode) -> Self {
+        self.cache = mode;
+        self
+    }
+
     /// The stable fingerprint seed: every field that changes *what is
     /// simulated or how results are produced*, in a fixed textual form.
     /// Wall-clock-only knobs (worker count, bench iterations, output
-    /// directory, telemetry level) are deliberately excluded — two runs
-    /// differing only in those produce identical measurements, and their
-    /// manifests carry the same fingerprint.
+    /// directory, telemetry level, cache mode) are deliberately excluded
+    /// — two runs differing only in those produce identical
+    /// measurements, and their manifests carry the same fingerprint.
     pub fn fingerprint_seed(&self) -> String {
         format!(
             "sched={};shrink={};smoke={};faults={}",
@@ -304,9 +380,33 @@ mod tests {
         let b = RunOptions::default()
             .with_workers(64)
             .with_telemetry(TelemetryLevel::Full)
-            .with_output_dir("/elsewhere");
+            .with_output_dir("/elsewhere")
+            .with_cache(CacheMode::ReadWrite);
         assert_eq!(a.fingerprint_seed(), b.fingerprint_seed());
         let c = RunOptions::default().with_scheduler(SchedKind::Heap);
         assert_ne!(a.fingerprint_seed(), c.fingerprint_seed());
+    }
+
+    #[test]
+    fn cache_modes_parse_and_roundtrip() {
+        for mode in [
+            CacheMode::Off,
+            CacheMode::ReadWrite,
+            CacheMode::ReadOnly,
+            CacheMode::Refresh,
+        ] {
+            assert_eq!(mode.as_str().parse::<CacheMode>().unwrap(), mode);
+        }
+        assert_eq!("on".parse::<CacheMode>().unwrap(), CacheMode::ReadWrite);
+        assert!("sometimes".parse::<CacheMode>().is_err());
+    }
+
+    #[test]
+    fn cache_mode_read_write_capabilities() {
+        assert!(!CacheMode::Off.reads() && !CacheMode::Off.writes());
+        assert!(CacheMode::ReadWrite.reads() && CacheMode::ReadWrite.writes());
+        assert!(CacheMode::ReadOnly.reads() && !CacheMode::ReadOnly.writes());
+        assert!(!CacheMode::Refresh.reads() && CacheMode::Refresh.writes());
+        assert_eq!(CacheMode::default(), CacheMode::Off);
     }
 }

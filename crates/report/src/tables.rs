@@ -254,6 +254,20 @@ pub fn fault_report(base: &cedar_core::RunResult, faulted: &cedar_core::RunResul
     )
 }
 
+/// One-line summary of a campaign's run-cache traffic, printed by the
+/// cache-aware binaries after their tables.
+pub fn cache_line(c: &cedar_core::CacheStats) -> String {
+    format!(
+        "run cache [{}]: {} hits, {} misses, {} writes, {} bypasses ({:.0}% hit rate)",
+        c.mode.as_str(),
+        c.hits,
+        c.misses,
+        c.writes,
+        c.bypasses,
+        c.hit_rate() * 100.0
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +318,20 @@ mod tests {
         let t1 = table1(&suite);
         let ct_rows = t1.lines().filter(|l| l.contains("CT (s)")).count();
         assert_eq!(ct_rows, 3);
+    }
+
+    #[test]
+    fn cache_line_prints_traffic() {
+        let s = cache_line(&cedar_core::CacheStats {
+            mode: cedar_core::CacheMode::ReadWrite,
+            hits: 24,
+            misses: 1,
+            writes: 1,
+            bypasses: 0,
+        });
+        assert!(s.contains("[rw]"));
+        assert!(s.contains("24 hits"));
+        assert!(s.contains("96% hit rate"));
     }
 
     #[test]

@@ -101,8 +101,7 @@ fn p32_run(app: &'static str, scale: u64) -> RunResult {
     // One distinct, stable charge per Table-2 row: row i gets (i+1)·100
     // cycles, scaled per app so the three columns differ.
     for (i, a) in OsActivity::ALL.into_iter().enumerate() {
-        r.os
-            .charge(ClusterId(0), a, Cycles((i as u64 + 1) * 100 * scale));
+        r.os.charge(ClusterId(0), a, Cycles((i as u64 + 1) * 100 * scale));
     }
     r
 }
@@ -176,7 +175,13 @@ fn table1_rendering_is_pinned_on_fixtures() {
 /// the scaled baseline and every multi-processor run completes in
 /// `T1 / (0.9 · p)` — a flat 90%-efficiency machine.
 fn full_grid_suite() -> SuiteResult {
-    let apps = [("FLO52", 1u64), ("ARC2D", 2), ("MDG", 3), ("OCEAN", 4), ("ADM", 5)];
+    let apps = [
+        ("FLO52", 1u64),
+        ("ARC2D", 2),
+        ("MDG", 3),
+        ("OCEAN", 4),
+        ("ADM", 5),
+    ];
     SuiteResult {
         apps: apps
             .into_iter()
@@ -216,7 +221,9 @@ fn fault_report_rendering_is_pinned_on_fixtures() {
     let base = p32_run("FLO52", 1);
     let mut faulted = p32_run("FLO52", 1);
     faulted.completion_time += Cycles(9_000);
-    faulted.os.charge(ClusterId(0), OsActivity::Cpi, Cycles(4_000));
+    faulted
+        .os
+        .charge(ClusterId(0), OsActivity::Cpi, Cycles(4_000));
     faulted
         .os
         .charge(ClusterId(1), OsActivity::Cpi, Cycles(1_000));

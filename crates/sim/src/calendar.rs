@@ -278,7 +278,8 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
         let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         let day = self.day_of(at);
         if !self.fits_wheel(day) {
-            self.overflow.push(order_key(at, seq), Entry::Inline(payload));
+            self.overflow
+                .push(order_key(at, seq), Entry::Inline(payload));
             self.overflow_live += 1;
             self.stats.overflow_spills += 1;
         } else {
@@ -300,7 +301,8 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
         let handle;
         if !self.fits_wheel(day) {
             handle = self.arena.alloc(payload, bucket, false);
-            self.overflow.push(order_key(at, seq), Entry::Pooled(handle));
+            self.overflow
+                .push(order_key(at, seq), Entry::Pooled(handle));
             self.overflow_live += 1;
             self.stats.overflow_spills += 1;
         } else {

@@ -129,6 +129,17 @@ impl DurationAccum {
         }
     }
 
+    /// Reconstitutes an accumulator from its observable parts — the
+    /// inverse of reading `total`/`samples`/`max`, used by the run cache
+    /// to round-trip accounting tables exactly.
+    pub fn from_parts(total: Cycles, samples: u64, max: Cycles) -> Self {
+        DurationAccum {
+            total,
+            samples,
+            max,
+        }
+    }
+
     /// Sum of all observed durations.
     pub fn total(&self) -> Cycles {
         self.total
@@ -205,6 +216,18 @@ impl LatencyHistogram {
         } else {
             self.overflow += 1;
         }
+    }
+
+    /// Reconstitutes a histogram from its bucket counts — the inverse
+    /// of reading [`bucket`](Self::bucket)/[`overflow`](Self::overflow),
+    /// used by the run cache to round-trip distributions exactly.
+    pub fn from_parts(buckets: Vec<u64>, overflow: u64) -> Self {
+        LatencyHistogram { buckets, overflow }
+    }
+
+    /// Number of buckets (the `n` the histogram was created with).
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Count in bucket `i`.

@@ -120,10 +120,7 @@ fn barrier_and_helper_waits_are_parallelization_overhead() {
 #[test]
 fn loop_setup_span_is_charged_to_loop_setup() {
     let b = from_lead_trace(
-        &[
-            ev(Id::LoopSetupEnter, 5, 0),
-            ev(Id::LoopSetupExit, 11, 0),
-        ],
+        &[ev(Id::LoopSetupEnter, 5, 0), ev(Id::LoopSetupExit, 11, 0)],
         LEAD,
     );
     assert_eq!(b.get(UserBucket::LoopSetup), Cycles(6));
@@ -155,10 +152,7 @@ fn other_ces_events_are_ignored() {
 #[test]
 fn program_end_closes_an_open_span() {
     let b = from_lead_trace(
-        &[
-            ev(Id::WaitForWorkEnter, 0, 0),
-            ev(Id::ProgramEnd, 25, 0),
-        ],
+        &[ev(Id::WaitForWorkEnter, 0, 0), ev(Id::ProgramEnd, 25, 0)],
         LEAD,
     );
     assert_eq!(b.get(UserBucket::HelperWait), Cycles(25));
@@ -182,7 +176,7 @@ fn detach_and_join_open_helper_wait_spans() {
     );
     assert_eq!(b.get(UserBucket::IterExec), Cycles(10));
     assert_eq!(b.get(UserBucket::ClusterSync), Cycles(2)); // 10 → 12
-    // Detach opens a wait (12→30), join re-opens it (30→35).
+                                                           // Detach opens a wait (12→30), join re-opens it (30→35).
     assert_eq!(b.get(UserBucket::HelperWait), Cycles(23));
     assert_eq!(b.get(UserBucket::PickupSdoall), Cycles(1));
     assert_eq!(b.total(), Cycles(36));

@@ -156,6 +156,15 @@ impl OsAccounting {
         self.clusters[cluster.0 as usize].buckets[ClusterAccounting::index(activity)].add(duration);
     }
 
+    /// Replaces one `(cluster, activity)` accumulator wholesale — the
+    /// inverse of reading it via [`cluster`](Self::cluster)`().get()`,
+    /// used by the run cache to round-trip Table 2 exactly (a rebuilt
+    /// accumulator must carry the original sample count and maximum,
+    /// which repeated [`charge`](Self::charge) calls cannot reproduce).
+    pub fn restore(&mut self, cluster: ClusterId, activity: OsActivity, accum: DurationAccum) {
+        self.clusters[cluster.0 as usize].buckets[ClusterAccounting::index(activity)] = accum;
+    }
+
     /// One cluster's accounting.
     pub fn cluster(&self, cluster: ClusterId) -> &ClusterAccounting {
         &self.clusters[cluster.0 as usize]

@@ -1,11 +1,12 @@
 #!/usr/bin/env sh
-# CI entry point: the offline-build guarantee, the full test suite, and
-# a one-iteration smoke pass of the bench harness.
+# CI entry point: the offline-build guarantee, the full test suite, a
+# one-iteration smoke pass of the bench harness, and the run-cache
+# soundness check (warm campaign = cold campaign, only faster).
 #
 # The workspace has zero external dependencies, so every step runs with
-# --offline and must succeed with no registry or network access. If an
-# external crate ever sneaks into a Cargo.toml, the first build step
-# fails here before anything else runs.
+# --offline and must succeed with no registry or network access. The
+# guard below catches an external crate in any Cargo.toml by name
+# before the build would fail on it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -27,13 +28,34 @@ if [ -n "$leaks" ]; then
     exit 1
 fi
 
+# Zero-dependency guard: every [dependencies]/[dev-dependencies] entry
+# in every Cargo.toml must be a workspace member — either a
+# `*.workspace = true` reference in a crate manifest or a `path = ...`
+# entry in the root [workspace.dependencies] table. An external crate
+# would already fail `cargo build --offline`, but only after resolution;
+# this names the offending line directly.
+echo "==> zero-dependency guard (workspace-only Cargo.toml entries)"
+bad=$(awk '
+    /^\[/ { indeps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies/) }
+    indeps && !/^\[/ && !/^[ \t]*(#|$)/ {
+        if ($0 !~ /workspace[ \t]*=[ \t]*true/ && $0 !~ /path[ \t]*=/)
+            printf "%s: %s\n", FILENAME, $0
+    }
+' Cargo.toml crates/*/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "error: non-workspace dependency in a Cargo.toml:" >&2
+    echo "$bad" >&2
+    echo "the workspace is zero-dependency; vendor the code or drop it" >&2
+    exit 1
+fi
+
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
 
 echo "==> cargo test -q --offline (workspace, debug)"
 cargo test -q --offline --workspace
 
-echo "==> per-suite integration-test timings (soft 60s ceiling)"
+echo "==> per-suite integration-test budgets (hard, results/TEST_budgets.json)"
 ./scripts/test_times.sh
 
 echo "==> bench harness smoke pass (BENCH_SMOKE=1: 1 iteration, no warmup)"
@@ -48,6 +70,64 @@ for f in results/RUN_manifest.json results/RUN_telemetry.jsonl; do
     }
 done
 echo "    wrote results/RUN_manifest.json + results/RUN_telemetry.jsonl"
+
+# Cache soundness: the same shrunk campaign twice against one cache
+# root. The cold pass populates the store, the warm pass must (a) hit on
+# every lookup, (b) produce a RUN_manifest.json byte-identical to the
+# cold one once the volatile fields (*_ns wall-clocks, utilization, git
+# provenance, and the cache-traffic object itself) are masked, and
+# (c) be measurably faster than simulating. The built binary is invoked
+# directly so the timing compares campaigns, not cargo overhead.
+echo "==> run-cache soundness (cold vs warm campaign, CEDAR_SHRINK=4)"
+scratch=$(mktemp -d "${TMPDIR:-/tmp}/cedar-cache-ci.XXXXXX")
+trap 'rm -rf "$scratch"' EXIT
+mask_manifest() {
+    sed -e 's/"git":"[^"]*"/"git":"MASKED"/' \
+        -e 's/"git":null/"git":"MASKED"/' \
+        -e 's/"\([a-z_]*_ns\)":[0-9][0-9]*/"\1":0/g' \
+        -e 's/"utilization":[0-9.eE+-]*/"utilization":0/' \
+        -e 's/"cache":{[^}]*}/"cache":{}/' \
+        "$1"
+}
+cold_start=$(date +%s%N)
+CEDAR_SHRINK=4 CEDAR_CACHE=rw BENCH_JSON_DIR="$scratch" \
+    ./target/release/all > /dev/null
+cold_end=$(date +%s%N)
+mask_manifest "$scratch/RUN_manifest.json" > "$scratch/cold.masked.json"
+warm_start=$(date +%s%N)
+CEDAR_SHRINK=4 CEDAR_CACHE=rw BENCH_JSON_DIR="$scratch" \
+    ./target/release/all > /dev/null
+warm_end=$(date +%s%N)
+mask_manifest "$scratch/RUN_manifest.json" > "$scratch/warm.masked.json"
+
+runs=$(sed -n 's/.*"runs":\([0-9]*\).*/\1/p' "$scratch/RUN_manifest.json")
+if ! grep -q "\"cache\":{\"mode\":\"rw\",\"hits\":$runs,\"misses\":0,\"writes\":0,\"bypasses\":0" \
+    "$scratch/RUN_manifest.json"; then
+    echo "error: warm campaign was not a 100% cache hit (runs=$runs):" >&2
+    sed -n 's/.*\("cache":{[^}]*}\).*/\1/p' "$scratch/RUN_manifest.json" >&2
+    exit 1
+fi
+if ! cmp -s "$scratch/cold.masked.json" "$scratch/warm.masked.json"; then
+    echo "error: cold and warm manifests differ after masking:" >&2
+    diff "$scratch/cold.masked.json" "$scratch/warm.masked.json" >&2 || true
+    exit 1
+fi
+cold_s=$(awk "BEGIN{printf \"%.2f\", ($cold_end - $cold_start) / 1e9}")
+warm_s=$(awk "BEGIN{printf \"%.2f\", ($warm_end - $warm_start) / 1e9}")
+speedup=$(awk "BEGIN{printf \"%.1f\", ($cold_end - $cold_start) / ($warm_end - $warm_start)}")
+echo "    $runs/$runs warm hits, manifests identical after masking"
+echo "    cold ${cold_s}s -> warm ${warm_s}s (${speedup}x speedup)"
+mkdir -p results
+printf '{\n  "runs": %s,\n  "warm_hits": %s,\n  "cold_s": %s,\n  "warm_s": %s,\n  "speedup": %s\n}\n' \
+    "$runs" "$runs" "$cold_s" "$warm_s" "$speedup" > results/CACHE_check.json
+echo "    wrote results/CACHE_check.json"
+min_speedup="${CACHE_MIN_SPEEDUP:-2}"
+slow=$(awk "BEGIN{print ($speedup < $min_speedup) ? 1 : 0}")
+if [ "$slow" = 1 ]; then
+    echo "error: warm campaign only ${speedup}x faster (floor ${min_speedup}x)" >&2
+    echo "raise the floor via CACHE_MIN_SPEEDUP only with a reason" >&2
+    exit 1
+fi
 
 echo "==> fault-sensitivity sweep smoke (CEDAR_SHRINK=16)"
 CEDAR_SHRINK=16 cargo run --release --offline -p cedar-bench --bin faultsweep > /dev/null

@@ -12,11 +12,13 @@
 //! [`hw`] (network + global memory + clusters), [`xylem`] (operating
 //! system), [`rtl`] (Cedar Fortran runtime), [`trace`] (cedarhpm /
 //! statfx / Q measurement facilities), [`faults`] (deterministic
-//! fault-injection campaigns) and [`obs`] (the reproduction's own
-//! telemetry: `RunOptions`, recorders, the run-manifest JSON writer),
-//! all built on the [`sim`] discrete-event kernel.
+//! fault-injection campaigns), [`obs`] (the reproduction's own
+//! telemetry: `RunOptions`, recorders, the run-manifest JSON writer) and
+//! [`cache`] (the content-addressed store of completed runs behind
+//! `CEDAR_CACHE`), all built on the [`sim`] discrete-event kernel.
 
 pub use cedar_apps as apps;
+pub use cedar_cache as cache;
 pub use cedar_core as core;
 pub use cedar_faults as faults;
 pub use cedar_hw as hw;

@@ -336,12 +336,9 @@ fn fuzzed_run_options_are_worker_count_independent() {
             &opts.clone().with_workers(1),
         )
         .expect("1-worker run");
-        let four = cedar::core::suite::SuiteResult::run_parallel(
-            &apps,
-            &configs,
-            &opts.with_workers(4),
-        )
-        .expect("4-worker run");
+        let four =
+            cedar::core::suite::SuiteResult::run_parallel(&apps, &configs, &opts.with_workers(4))
+                .expect("4-worker run");
         let fp = |s: &cedar::core::suite::SuiteResult| -> String {
             s.apps
                 .iter()
