@@ -183,64 +183,90 @@ impl AppSpec {
         out
     }
 
+    /// Checks structural invariants, returning the first violation as a
+    /// human-readable message: an access referencing a missing array, an
+    /// access larger than its array, or a zero-iteration loop. The
+    /// fallible twin of [`validate`](Self::validate) — callers with a
+    /// typed error surface (the campaign service) map the message into
+    /// `CedarError::ConfigInvalid` instead of unwinding.
+    pub fn try_validate(&self) -> Result<(), String> {
+        let check_access = |a: &AccessPattern| -> Result<(), String> {
+            let arr = self.arrays.get(a.array).ok_or_else(|| {
+                format!("{}: access references missing array {}", self.name, a.array)
+            })?;
+            let span = (a.words as u64) * a.stride_dwords * 8;
+            if span > arr.bytes {
+                return Err(format!(
+                    "{}: access span {} exceeds array '{}' ({} bytes)",
+                    self.name, span, arr.name, arr.bytes
+                ));
+            }
+            Ok(())
+        };
+        let check_accesses =
+            |accesses: &[AccessPattern]| accesses.iter().try_for_each(check_access);
+        let check_body = |b: &BodySpec| check_accesses(&b.accesses);
+        fn walk<'a>(
+            phases: &'a [Phase],
+            f: &mut dyn FnMut(&'a Phase) -> Result<(), String>,
+        ) -> Result<(), String> {
+            for p in phases {
+                f(p)?;
+                if let Phase::Repeat { phases, .. } = p {
+                    walk(phases, f)?;
+                }
+            }
+            Ok(())
+        }
+        walk(&self.phases, &mut |p| match p {
+            Phase::Serial { accesses, .. } => check_accesses(accesses),
+            Phase::ClusterLoop { iters, body } => {
+                if *iters == 0 {
+                    return Err(format!("{}: zero-iteration cluster loop", self.name));
+                }
+                check_body(body)
+            }
+            Phase::Sdoall { outer, inner, body } => {
+                if *outer == 0 || *inner == 0 {
+                    return Err(format!(
+                        "{}: degenerate sdoall {}x{}",
+                        self.name, outer, inner
+                    ));
+                }
+                check_body(body)
+            }
+            Phase::Xdoall { iters, body } => {
+                if *iters == 0 {
+                    return Err(format!("{}: zero-iteration xdoall", self.name));
+                }
+                check_body(body)
+            }
+            Phase::Doacross { iters, body, .. } => {
+                if *iters == 0 {
+                    return Err(format!("{}: zero-iteration doacross", self.name));
+                }
+                check_body(body)
+            }
+            Phase::Repeat { times, .. } => {
+                if *times == 0 {
+                    return Err(format!("{}: zero-repetition phase", self.name));
+                }
+                Ok(())
+            }
+        })
+    }
+
     /// Validates structural invariants.
     ///
     /// # Panics
     ///
-    /// Panics if an access references a missing array, an access is
-    /// larger than its array, or a loop has zero iterations.
+    /// Panics with [`try_validate`](Self::try_validate)'s message on the
+    /// first violation. Kept for model constructors and tests where a
+    /// malformed spec is a programming error.
     pub fn validate(&self) {
-        let check_access = |a: &AccessPattern| {
-            let arr = self.arrays.get(a.array).unwrap_or_else(|| {
-                panic!("{}: access references missing array {}", self.name, a.array)
-            });
-            let span = (a.words as u64) * a.stride_dwords * 8;
-            assert!(
-                span <= arr.bytes,
-                "{}: access span {} exceeds array '{}' ({} bytes)",
-                self.name,
-                span,
-                arr.name,
-                arr.bytes
-            );
-        };
-        let check_body = |b: &BodySpec| b.accesses.iter().for_each(check_access);
-        fn walk<'a>(phases: &'a [Phase], f: &mut dyn FnMut(&'a Phase)) {
-            for p in phases {
-                f(p);
-                if let Phase::Repeat { phases, .. } = p {
-                    walk(phases, f);
-                }
-            }
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
         }
-        walk(&self.phases, &mut |p| match p {
-            Phase::Serial { accesses, .. } => accesses.iter().for_each(check_access),
-            Phase::ClusterLoop { iters, body } => {
-                assert!(*iters > 0, "{}: zero-iteration cluster loop", self.name);
-                check_body(body);
-            }
-            Phase::Sdoall { outer, inner, body } => {
-                assert!(
-                    *outer > 0 && *inner > 0,
-                    "{}: degenerate sdoall {}x{}",
-                    self.name,
-                    outer,
-                    inner
-                );
-                check_body(body);
-            }
-            Phase::Xdoall { iters, body } => {
-                assert!(*iters > 0, "{}: zero-iteration xdoall", self.name);
-                check_body(body);
-            }
-            Phase::Doacross { iters, body, .. } => {
-                assert!(*iters > 0, "{}: zero-iteration doacross", self.name);
-                check_body(body);
-            }
-            Phase::Repeat { times, .. } => {
-                assert!(*times > 0, "{}: zero-repetition phase", self.name);
-            }
-        });
     }
 
     /// A reduced copy for fast tests: every `Repeat` count is divided by
@@ -355,6 +381,18 @@ mod tests {
     #[test]
     fn validate_accepts_well_formed_spec() {
         tiny().validate();
+    }
+
+    #[test]
+    fn try_validate_returns_the_violation() {
+        assert!(tiny().try_validate().is_ok());
+        let mut t = tiny();
+        t.phases = vec![Phase::Xdoall {
+            iters: 0,
+            body: BodySpec::compute(1),
+        }];
+        let msg = t.try_validate().unwrap_err();
+        assert!(msg.contains("zero-iteration xdoall"), "{msg}");
     }
 
     #[test]

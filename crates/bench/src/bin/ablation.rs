@@ -11,7 +11,7 @@ use cedar_trace::UserBucket;
 fn main() {
     let opts = cedar_bench::run_options();
     let workers = opts.workers.unwrap_or_else(pool::default_workers);
-    let session = CacheSession::new(opts);
+    let session = CacheSession::new(opts).expect("run cache unavailable");
     let session = &session;
     println!("Construct ablation: 20 steps x 2 loops of 128 iterations (c=1200, 8 words)");
     println!(

@@ -81,7 +81,7 @@ fn main() {
         .iter()
         .flat_map(|&c| LEVELS.iter().map(move |&l| (c, l)))
         .collect();
-    let session = CacheSession::new(opts);
+    let session = CacheSession::new(opts).expect("run cache unavailable");
     let session = &session;
     let runs = pool::run_jobs(
         workers,

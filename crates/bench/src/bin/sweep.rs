@@ -20,7 +20,7 @@ use cedar_trace::UserBucket;
 fn main() {
     let opts = cedar_bench::run_options();
     let workers = opts.workers.unwrap_or_else(pool::default_workers);
-    let session = CacheSession::new(opts);
+    let session = CacheSession::new(opts).expect("run cache unavailable");
     let session = &session;
     println!("Sweep 1: xdoall granularity vs distribution overhead (32 proc)");
     println!(

@@ -167,6 +167,7 @@ mod tests {
     fn tiny_suite(opts: &RunOptions) -> SuiteResult {
         let apps = vec![cedar_apps::synthetic::uniform_xdoall(1, 2, 8, 120, 4)];
         SuiteResult::run_sequential(&apps, &[Configuration::P1, Configuration::P4], opts)
+            .expect("tiny campaign")
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cedar_obs::json::fnv1a;
-use cedar_obs::CacheMode;
+use cedar_obs::{CacheMode, CedarError};
 
 use crate::key::RunKey;
 use crate::record::CachedRun;
@@ -79,18 +79,31 @@ pub struct RunCache {
 }
 
 impl RunCache {
-    /// Opens (lazily) the store rooted at `root` for a session in
-    /// `mode`. The directory is created on first write, not here — a
-    /// read-only session over a missing directory just misses.
-    pub fn open(root: impl Into<PathBuf>, mode: CacheMode) -> RunCache {
-        RunCache {
-            root: root.into(),
+    /// Opens the store rooted at `root` for a session in `mode`.
+    ///
+    /// Opening stays lazy — shard directories are created on first
+    /// write, so a read-only session over a missing directory just
+    /// misses — but a root that can *never* work is rejected up front
+    /// with [`CedarError::CacheIo`]: a path that exists and is not a
+    /// directory would silently turn every operation of a writing
+    /// session into a no-op, which is exactly the class of quiet
+    /// misconfiguration the typed error API exists to surface.
+    pub fn open(root: impl Into<PathBuf>, mode: CacheMode) -> Result<RunCache, CedarError> {
+        let root = root.into();
+        if root.exists() && !root.is_dir() {
+            return Err(CedarError::CacheIo(format!(
+                "cache root {} exists and is not a directory",
+                root.display()
+            )));
+        }
+        Ok(RunCache {
+            root,
             mode,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             bypasses: AtomicU64::new(0),
-        }
+        })
     }
 
     /// The store's root directory.
@@ -272,7 +285,7 @@ mod tests {
 
     #[test]
     fn put_then_get_round_trips() {
-        let cache = RunCache::open(tmp_root("rt"), CacheMode::ReadWrite);
+        let cache = RunCache::open(tmp_root("rt"), CacheMode::ReadWrite).unwrap();
         let key = RunKey::new("case=1");
         assert!(cache.get(&key).is_none(), "cold cache misses");
         cache.put(&key, &tiny_run());
@@ -286,14 +299,14 @@ mod tests {
 
     #[test]
     fn missing_directory_is_a_silent_miss() {
-        let cache = RunCache::open(tmp_root("missing"), CacheMode::ReadOnly);
+        let cache = RunCache::open(tmp_root("missing"), CacheMode::ReadOnly).unwrap();
         assert!(cache.get(&RunKey::new("anything")).is_none());
         assert!(!cache.root().exists(), "read must not create the store");
     }
 
     #[test]
     fn header_validation_rejects_tampering() {
-        let cache = RunCache::open(tmp_root("tamper"), CacheMode::ReadWrite);
+        let cache = RunCache::open(tmp_root("tamper"), CacheMode::ReadWrite).unwrap();
         let key = RunKey::new("case=2");
         cache.put(&key, &tiny_run());
         let path = cache.entry_path(&key);
@@ -342,7 +355,7 @@ mod tests {
 
     #[test]
     fn entries_shard_by_key_prefix() {
-        let cache = RunCache::open(tmp_root("shard"), CacheMode::ReadWrite);
+        let cache = RunCache::open(tmp_root("shard"), CacheMode::ReadWrite).unwrap();
         let key = RunKey::new("case=3");
         let path = cache.entry_path(&key);
         assert!(path.starts_with(cache.root().join(key.shard())));
@@ -353,7 +366,7 @@ mod tests {
 
     #[test]
     fn no_tmp_files_left_behind() {
-        let cache = RunCache::open(tmp_root("tmp"), CacheMode::ReadWrite);
+        let cache = RunCache::open(tmp_root("tmp"), CacheMode::ReadWrite).unwrap();
         let key = RunKey::new("case=4");
         cache.put(&key, &tiny_run());
         let shard = cache.root().join(key.shard());

@@ -17,7 +17,7 @@ use std::path::PathBuf;
 
 use cedar_apps::AppSpec;
 use cedar_cache::{CacheStats, CachedRun, RunCache, RunKey};
-use cedar_obs::{CacheMode, RunOptions};
+use cedar_obs::{CacheMode, CedarError, RunOptions};
 
 use crate::config::SimConfig;
 use crate::result::RunResult;
@@ -89,8 +89,9 @@ impl CacheSession {
     /// Builds the session for `opts`. `CacheMode::Off` opens nothing
     /// and makes [`execute`](Self::execute) a plain passthrough; other
     /// modes open the store under `opts.output_dir`'s `cache/`
-    /// subdirectory (or the workspace `results/cache/`).
-    pub fn new(opts: &RunOptions) -> CacheSession {
+    /// subdirectory (or the workspace `results/cache/`), surfacing an
+    /// unusable cache root as [`CedarError::CacheIo`].
+    pub fn new(opts: &RunOptions) -> Result<CacheSession, CedarError> {
         let cache = match opts.cache {
             CacheMode::Off => None,
             mode => {
@@ -99,10 +100,10 @@ impl CacheSession {
                     .as_ref()
                     .map(|d| d.join("cache"))
                     .unwrap_or_else(default_cache_root);
-                Some(RunCache::open(root, mode))
+                Some(RunCache::open(root, mode)?)
             }
         };
-        CacheSession { cache }
+        Ok(CacheSession { cache })
     }
 
     /// Runs one experiment through cache policy: serve a valid stored
@@ -184,8 +185,18 @@ mod tests {
     }
 
     #[test]
+    fn unusable_cache_root_is_a_typed_error() {
+        let file = std::env::temp_dir().join(format!("cedar-cache-root-{}", std::process::id()));
+        std::fs::write(&file, "not a directory").unwrap();
+        let err = RunCache::open(&file, CacheMode::ReadWrite).unwrap_err();
+        assert_eq!(err.kind(), "cache_io");
+        assert_eq!(err.http_status(), 500);
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
     fn off_session_is_a_passthrough() {
-        let session = CacheSession::new(&RunOptions::default());
+        let session = CacheSession::new(&RunOptions::default()).unwrap();
         assert!(session.stats().is_none());
         let app = synthetic::uniform_xdoall(1, 1, 4, 100, 8);
         let r = session.execute(&app, SimConfig::cedar(Configuration::P1));

@@ -2,6 +2,7 @@
 
 use cedar_faults::FaultPlan;
 use cedar_hw::{Configuration, HwConfig};
+use cedar_obs::CedarError;
 use cedar_rtl::RtlConfig;
 use cedar_sim::SchedKind;
 use cedar_xylem::{BackgroundLoad, OsConfig};
@@ -169,6 +170,39 @@ impl SimConfig {
     /// The active processor configuration.
     pub fn configuration(&self) -> Configuration {
         self.hw.configuration
+    }
+
+    /// Checks the configuration's structural invariants, returning the
+    /// first violation as [`CedarError::ConfigInvalid`] instead of
+    /// letting it surface later as a panic deep inside the machine.
+    /// Every configuration reachable from [`SimConfig::cedar`] by
+    /// builder chaining with sane values passes.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    ///
+    /// assert!(SimConfig::cedar(Configuration::P8).validate().is_ok());
+    /// let bad = SimConfig::cedar(Configuration::P8).with_max_events(0);
+    /// assert!(bad.validate().is_err());
+    /// ```
+    pub fn validate(&self) -> Result<(), CedarError> {
+        if self.max_events == 0 {
+            return Err(CedarError::ConfigInvalid(
+                "max_events must be at least 1 (0 would abort every run immediately)".to_string(),
+            ));
+        }
+        if self.hw.net.modules == 0 {
+            return Err(CedarError::ConfigInvalid(
+                "network configuration has zero memory modules".to_string(),
+            ));
+        }
+        if self.hw.net.radix == 0 {
+            return Err(CedarError::ConfigInvalid(
+                "network configuration has a zero switch radix".to_string(),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -56,7 +56,7 @@ pub mod suite;
 
 pub use cache::CacheSession;
 pub use cedar_cache::CacheStats;
-pub use cedar_obs::{CacheMode, RunOptions, TelemetryLevel};
+pub use cedar_obs::{CacheMode, CedarError, RunOptions, TelemetryLevel};
 pub use config::SimConfig;
 pub use pool::{PoolError, PoolStats};
 pub use result::RunResult;

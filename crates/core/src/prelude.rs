@@ -2,9 +2,11 @@
 //!
 //! Pulls in the experiment entry points ([`Experiment`], [`SuiteResult`]),
 //! the typed configuration surface ([`SimConfig`], [`RunOptions`],
-//! [`SchedKind`], [`TelemetryLevel`]), the machine-size enum
-//! ([`Configuration`]), and the result types — everything a tool or test
-//! needs to set up and run a measurement campaign:
+//! [`SchedKind`], [`TelemetryLevel`], [`FaultPlan`], [`CacheMode`]), the
+//! typed error enum ([`CedarError`]), the workload registry
+//! ([`AppSpec`], [`perfect_suite`], [`app_by_name`]), the machine-size
+//! enum ([`Configuration`]), and the result types — everything a tool or
+//! test needs to set up and run a measurement campaign:
 //!
 //! ```
 //! use cedar_core::prelude::*;
@@ -20,10 +22,15 @@
 //! `cedar-report`; the facade crate's `cedar::prelude` re-exports this
 //! prelude together with those entry points.
 
+pub use cedar_apps::{app_by_name, perfect_suite, AppSpec};
 pub use cedar_cache::CacheStats;
-pub use cedar_faults::FaultPlan;
+pub use cedar_faults::{
+    AstBurst, DegradedNetwork, FaultPlan, HelperStall, InterruptStorm, LockInflation, PageFaultWave,
+};
 pub use cedar_hw::Configuration;
-pub use cedar_obs::{CacheMode, Counters, Recorder, RunOptions, RunStats, TelemetryLevel};
+pub use cedar_obs::{
+    CacheMode, CedarError, Counters, Recorder, RunOptions, RunStats, TelemetryLevel,
+};
 pub use cedar_sim::SchedKind;
 
 pub use crate::cache::CacheSession;

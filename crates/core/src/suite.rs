@@ -16,11 +16,11 @@
 use cedar_apps::AppSpec;
 use cedar_cache::CacheStats;
 use cedar_hw::Configuration;
-use cedar_obs::RunOptions;
+use cedar_obs::{CedarError, RunOptions};
 
 use crate::cache::CacheSession;
 use crate::config::SimConfig;
-use crate::pool::{self, PoolError, PoolStats};
+use crate::pool::{self, PoolStats};
 use crate::result::RunResult;
 
 /// All configuration runs of one application.
@@ -145,14 +145,16 @@ fn regroup(apps: &[AppSpec], per_app: usize, mut runs: Vec<RunResult>) -> Vec<Ap
 impl SuiteResult {
     /// Runs `apps` on every configuration in `configurations`, one
     /// experiment at a time on the calling thread. This is the reference
-    /// path the parallel runner is checked against.
+    /// path the parallel runner is checked against. Fails with
+    /// [`CedarError::CacheIo`] when the configured cache root is
+    /// unusable.
     pub fn run_sequential(
         apps: &[AppSpec],
         configurations: &[Configuration],
         opts: &RunOptions,
-    ) -> SuiteResult {
+    ) -> Result<SuiteResult, CedarError> {
         let wall = std::time::Instant::now();
-        let session = CacheSession::new(opts);
+        let session = CacheSession::new(opts)?;
         let runs: Vec<_> = grid(apps, configurations)
             .into_iter()
             .map(|(app, c)| session.execute(&app, cell_config(c, opts)))
@@ -163,26 +165,27 @@ impl SuiteResult {
             None,
             session.stats(),
         );
-        SuiteResult {
+        Ok(SuiteResult {
             apps: regroup(apps, configurations.len(), runs),
             telemetry,
-        }
+        })
     }
 
     /// Runs the same grid fanned out over the worker pool
     /// (`opts.workers`; `None` → [`pool::default_workers`]). Results
     /// come back in the same deterministic order as
     /// [`SuiteResult::run_sequential`]; a panicking experiment surfaces
-    /// as `Err` instead of aborting the process or hanging the pool.
+    /// as [`CedarError::Internal`] instead of aborting the process or
+    /// hanging the pool.
     pub fn run_parallel(
         apps: &[AppSpec],
         configurations: &[Configuration],
         opts: &RunOptions,
-    ) -> Result<SuiteResult, PoolError> {
+    ) -> Result<SuiteResult, CedarError> {
         let wall = std::time::Instant::now();
         // One session serves all workers: pool jobs borrow it (the pool
         // runs on scoped threads) and its counters are atomic.
-        let session = CacheSession::new(opts);
+        let session = CacheSession::new(opts)?;
         let jobs: Vec<_> = grid(apps, configurations)
             .into_iter()
             .map(|(app, c)| {
@@ -192,7 +195,8 @@ impl SuiteResult {
             })
             .collect();
         let workers = opts.workers.unwrap_or_else(pool::default_workers);
-        let (runs, pool_stats) = pool::run_jobs_timed(workers, jobs)?;
+        let (runs, pool_stats) =
+            pool::run_jobs_timed(workers, jobs).map_err(|e| CedarError::Internal(e.to_string()))?;
         let telemetry = SuiteTelemetry::from_runs(
             &runs,
             wall.elapsed().as_nanos() as u64,
@@ -206,14 +210,14 @@ impl SuiteResult {
     }
 
     /// Runs `apps` on every configuration in `configurations` across the
-    /// worker pool under `opts`, panicking if an experiment panics. The
+    /// worker pool under `opts`, panicking on any [`CedarError`]. The
     /// convenience entry point for tools and tests.
     pub fn measure(
         apps: &[AppSpec],
         configurations: &[Configuration],
         opts: &RunOptions,
     ) -> SuiteResult {
-        SuiteResult::run_parallel(apps, configurations, opts).expect("experiment panicked")
+        SuiteResult::run_parallel(apps, configurations, opts).expect("campaign failed")
     }
 
     /// Runs the full campaign under `opts`: the five Perfect

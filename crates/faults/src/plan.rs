@@ -130,42 +130,113 @@ impl FaultPlan {
     }
 
     /// Overrides the driver seed (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::FaultPlan;
+    ///
+    /// assert_eq!(FaultPlan::default().with_seed(7).seed, 7);
+    /// ```
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Arms interrupt storms (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{FaultPlan, InterruptStorm};
+    /// use cedar_sim::Cycles;
+    ///
+    /// let plan = FaultPlan::default().with_interrupt_storm(InterruptStorm {
+    ///     mean_interval: Cycles(40_000),
+    ///     burst: 2,
+    /// });
+    /// assert!(!plan.is_empty());
+    /// ```
     pub fn with_interrupt_storm(mut self, spec: InterruptStorm) -> Self {
         self.interrupt_storm = Some(spec);
         self
     }
 
     /// Arms AST bursts (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{AstBurst, FaultPlan};
+    /// use cedar_sim::Cycles;
+    ///
+    /// let plan = FaultPlan::default().with_ast_burst(AstBurst {
+    ///     mean_interval: Cycles(60_000),
+    ///     burst: 3,
+    ///     cost: Cycles(400),
+    /// });
+    /// assert_eq!(plan.ast_burst.unwrap().burst, 3);
+    /// ```
     pub fn with_ast_burst(mut self, spec: AstBurst) -> Self {
         self.ast_burst = Some(spec);
         self
     }
 
     /// Arms page-fault waves (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{FaultPlan, PageFaultWave};
+    /// use cedar_sim::Cycles;
+    ///
+    /// let plan = FaultPlan::default().with_page_fault_wave(PageFaultWave {
+    ///     mean_interval: Cycles(80_000),
+    ///     faults_per_wave: 4,
+    ///     concurrent_pct: 50,
+    ///     seq_cost: Cycles(1_000),
+    ///     conc_cost: Cycles(1_500),
+    /// });
+    /// assert_eq!(plan.page_fault_wave.unwrap().concurrent_pct, 50);
+    /// ```
     pub fn with_page_fault_wave(mut self, spec: PageFaultWave) -> Self {
         self.page_fault_wave = Some(spec);
         self
     }
 
     /// Arms kernel-lock hold inflation (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{FaultPlan, LockInflation};
+    ///
+    /// let plan = FaultPlan::default().with_lock_inflation(LockInflation { hold_pct: 100 });
+    /// assert_eq!(plan.lock_inflation.unwrap().hold_pct, 100);
+    /// ```
     pub fn with_lock_inflation(mut self, spec: LockInflation) -> Self {
         self.lock_inflation = Some(spec);
         self
     }
 
     /// Arms static network degradation (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{DegradedNetwork, FaultPlan};
+    ///
+    /// let plan = FaultPlan::default().with_degraded_network(DegradedNetwork {
+    ///     switch_pct: 50,
+    ///     module_pct: 25,
+    /// });
+    /// assert_eq!(plan.degraded_network.unwrap().switch_pct, 50);
+    /// ```
     pub fn with_degraded_network(mut self, spec: DegradedNetwork) -> Self {
         self.degraded_network = Some(spec);
         self
     }
 
     /// Arms helper-task stalls (builder style).
+    ///
+    /// ```
+    /// use cedar_faults::{FaultPlan, HelperStall};
+    /// use cedar_sim::Cycles;
+    ///
+    /// let plan = FaultPlan::default().with_helper_stall(HelperStall {
+    ///     mean_interval: Cycles(100_000),
+    ///     stall: Cycles(5_000),
+    /// });
+    /// assert_eq!(plan.helper_stall.unwrap().stall, Cycles(5_000));
+    /// ```
     pub fn with_helper_stall(mut self, spec: HelperStall) -> Self {
         self.helper_stall = Some(spec);
         self

@@ -24,15 +24,22 @@
 //!   via [`RunOptions::from_env`] — the only place in the workspace
 //!   (besides the golden-update hook) that reads configuration
 //!   environment variables.
-//! * [`json`] — a tiny ordered-JSON writer plus the stable
+//! * [`json`] — a tiny ordered-JSON writer and reader plus the stable
 //!   [`fingerprint`](json::fnv1a) hash and [`git_describe`](json::git_describe)
-//!   helper used by the run manifest (`results/RUN_manifest.json`).
+//!   helper used by the run manifest (`results/RUN_manifest.json`) and
+//!   the serving layer's campaign specs.
+//! * [`CedarError`] — the workspace's typed error enum, defined here so
+//!   every layer (cache, core, report, serve) shares one fallible
+//!   surface; `cedar_core::CedarError` re-exports it as the canonical
+//!   import path.
 
+pub mod error;
 pub mod json;
 pub mod options;
 pub mod recorder;
 pub mod scratch;
 
+pub use error::CedarError;
 pub use options::{CacheMode, RunOptions, TelemetryLevel};
 pub use recorder::{Counters, Recorder, RunStats, SpanStat, SpanToken};
 pub use scratch::ScratchCounters;

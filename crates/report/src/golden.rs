@@ -10,6 +10,8 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use cedar_core::CedarError;
+
 /// Outcome of one snapshot comparison.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GoldenStatus {
@@ -34,19 +36,22 @@ pub fn update_mode() -> bool {
 }
 
 /// Compares `actual` against the snapshot at `path`, honouring
-/// [`update_mode`]. Errors from the filesystem propagate.
-pub fn check(path: &Path, actual: &str) -> std::io::Result<GoldenStatus> {
+/// [`update_mode`]. Filesystem failures surface as
+/// [`CedarError::Internal`] with the path in the message.
+pub fn check(path: &Path, actual: &str) -> Result<GoldenStatus, CedarError> {
+    let io_err =
+        |e: std::io::Error| CedarError::Internal(format!("golden {}: {e}", path.display()));
     if update_mode() {
         if let Some(dir) = path.parent() {
-            std::fs::create_dir_all(dir)?;
+            std::fs::create_dir_all(dir).map_err(io_err)?;
         }
-        std::fs::write(path, actual)?;
+        std::fs::write(path, actual).map_err(io_err)?;
         return Ok(GoldenStatus::Updated);
     }
     let expected = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(GoldenStatus::Missing),
-        Err(e) => return Err(e),
+        Err(e) => return Err(io_err(e)),
     };
     if expected == actual {
         Ok(GoldenStatus::Match)

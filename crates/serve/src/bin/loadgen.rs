@@ -1,0 +1,221 @@
+//! Open-loop load generator for the campaign service.
+//!
+//! Fires a seeded, reproducible request mix at a running `serve`
+//! process on an open-loop arrival schedule (requests launch at their
+//! scheduled instant whether or not earlier ones have finished — the
+//! schedule does not slow down when the server does, which is what
+//! makes the backpressure path observable). Collects per-request status
+//! and latency and writes a percentile summary to
+//! `results/SERVE_load.json`.
+//!
+//! The target address comes from the typed environment surface
+//! (`CEDAR_SERVE_ADDR` via `ServeOptions::from_env`); the burst shape
+//! is CLI flags:
+//!
+//! ```sh
+//! loadgen [--requests N] [--rate PER_S] [--seed S] [--shrink K] [--out PATH]
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cedar_obs::json::Obj;
+use cedar_serve::ServeOptions;
+
+/// SplitMix64: the workspace's standard small seeded generator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+struct Args {
+    requests: usize,
+    rate: f64,
+    seed: u64,
+    shrink: u32,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 40,
+        rate: 20.0,
+        seed: 0xCEDA,
+        shrink: 32,
+        out: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/SERVE_load.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--requests" => args.requests = value().parse().expect("--requests"),
+            "--rate" => args.rate = value().parse().expect("--rate"),
+            "--seed" => args.seed = value().parse().expect("--seed"),
+            "--shrink" => args.shrink = value().parse().expect("--shrink"),
+            "--out" => args.out = PathBuf::from(value()),
+            other => panic!("unknown flag `{other}` (see the module docs)"),
+        }
+    }
+    args
+}
+
+/// The seeded request mix: five apps × three machine sizes × both
+/// schedulers, all at one shrink — a small enough key space that a
+/// repeated burst with the same seed replays from the run cache.
+fn spec_body(rng: &mut SplitMix64, shrink: u32) -> String {
+    let app = rng.pick(&["FLO52", "ARC2D", "MDG", "OCEAN", "ADM"]);
+    let processors = rng.pick(&[4u64, 8, 32]);
+    let scheduler = rng.pick(&["calendar", "heap"]);
+    format!(
+        r#"{{"app":"{app}","processors":{processors},"scheduler":"{scheduler}","shrink":{shrink}}}"#
+    )
+}
+
+/// One blocking request; returns (status, latency). Status 0 = the
+/// connection itself failed.
+fn post_run(addr: &str, body: &str) -> (u16, Duration) {
+    let start = Instant::now();
+    let status = (|| {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream
+            .write_all(
+                format!(
+                    "POST /run HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .ok()?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response).ok()?;
+        response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+    })()
+    .unwrap_or(0);
+    (status, start.elapsed())
+}
+
+/// Scrapes one counter from the server's `/metrics` exposition, so the
+/// report (and the CI gate reading it) can see cache traffic without a
+/// separate HTTP client.
+fn scrape_counter(addr: &str, name: &str) -> u64 {
+    let text = (|| {
+        let mut stream = TcpStream::connect(addr).ok()?;
+        stream
+            .write_all(format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+            .ok()?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response).ok()?;
+        Some(response)
+    })()
+    .unwrap_or_default();
+    text.lines()
+        .find_map(|l| {
+            l.strip_prefix(name)
+                .and_then(|rest| rest.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank]
+}
+
+fn main() {
+    let args = parse_args();
+    let addr = ServeOptions::from_env().addr;
+    eprintln!(
+        "loadgen: {} requests at {}/s against {addr} (seed {}, shrink {})",
+        args.requests, args.rate, args.seed, args.shrink
+    );
+
+    let mut rng = SplitMix64(args.seed);
+    let bodies: Vec<String> = (0..args.requests)
+        .map(|_| spec_body(&mut rng, args.shrink))
+        .collect();
+
+    let start = Instant::now();
+    let handles: Vec<_> = bodies
+        .into_iter()
+        .enumerate()
+        .map(|(i, body)| {
+            let addr = addr.clone();
+            let due = Duration::from_secs_f64(i as f64 / args.rate);
+            std::thread::spawn(move || {
+                if let Some(wait) = due.checked_sub(start.elapsed()) {
+                    std::thread::sleep(wait);
+                }
+                post_run(&addr, &body)
+            })
+        })
+        .collect();
+
+    let mut latencies_ms = Vec::with_capacity(args.requests);
+    let mut ok = 0u64;
+    let mut shed = 0u64;
+    let mut failed = 0u64;
+    for h in handles {
+        let (status, latency) = h.join().expect("request thread");
+        latencies_ms.push(latency.as_secs_f64() * 1e3);
+        match status {
+            200 => ok += 1,
+            503 => shed += 1,
+            _ => failed += 1,
+        }
+    }
+    let wall_s = start.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let cache_hits = scrape_counter(&addr, "cedar_serve_cache_hits_total");
+    let cache_misses = scrape_counter(&addr, "cedar_serve_cache_misses_total");
+
+    let mut lat = Obj::new();
+    lat.f64("p50", percentile(&latencies_ms, 0.50))
+        .f64("p90", percentile(&latencies_ms, 0.90))
+        .f64("p99", percentile(&latencies_ms, 0.99))
+        .f64("max", latencies_ms.last().copied().unwrap_or(0.0));
+    let mut o = Obj::new();
+    o.u64("requests", args.requests as u64)
+        .f64("rate_per_s", args.rate)
+        .u64("seed", args.seed)
+        .u64("shrink", u64::from(args.shrink))
+        .u64("ok", ok)
+        .u64("shed_503", shed)
+        .u64("failed", failed)
+        .u64("cache_hits_total", cache_hits)
+        .u64("cache_misses_total", cache_misses)
+        .f64("wall_s", wall_s)
+        .raw("latency_ms", lat.finish());
+    let report = o.finish();
+
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&args.out, &report).expect("write load report");
+    println!("{report}");
+    eprintln!("loadgen: wrote {}", args.out.display());
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,39 @@
+//! The campaign-service binary.
+//!
+//! ```sh
+//! cargo run --release --bin serve
+//! # or, on an ephemeral port with a small queue:
+//! CEDAR_SERVE_ADDR=127.0.0.1:0 CEDAR_SERVE_QUEUE=8 cargo run --release --bin serve
+//! ```
+//!
+//! The first stdout line is `cedar-serve listening on <addr>` with the
+//! resolved address, so scripts binding port 0 can discover the port.
+//! `SIGINT`/`SIGTERM` drain in-flight and queued requests before exit.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use cedar_serve::{signal, ServeOptions, Server};
+
+fn main() {
+    let opts = ServeOptions::from_env();
+    let server = Server::start(&opts).unwrap_or_else(|e| {
+        eprintln!("cedar-serve: {e}");
+        std::process::exit(1);
+    });
+    println!("cedar-serve listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "cedar-serve: queue={} workers={} (POST /run, GET /metrics, GET /healthz)",
+        opts.queue, opts.workers
+    );
+
+    signal::install();
+    while !signal::triggered() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("cedar-serve: signal received, draining");
+    server.shutdown();
+    server.join();
+    eprintln!("cedar-serve: drained, exiting");
+}

@@ -1,0 +1,202 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams.
+//!
+//! Implements exactly what the campaign service needs: parse a request
+//! line, the handful of headers we honour (`Content-Length`), read the
+//! body, and write a response with correct framing. Every connection is
+//! `Connection: close` — campaign runs are seconds-scale, so keep-alive
+//! buys nothing and closing keeps the state machine trivial.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use cedar_obs::CedarError;
+
+/// Request bodies above this are rejected before buffering (a campaign
+/// spec is a few hundred bytes; a megabyte is already hostile).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// `GET`, `POST`, … uppercased as received.
+    pub method: String,
+    /// The request target, query string included.
+    pub path: String,
+    /// The request body, sized by `Content-Length`.
+    pub body: Vec<u8>,
+}
+
+/// Reads and parses one request from `stream`. Malformed framing
+/// surfaces as [`CedarError::SpecParse`] so the server can answer `400`
+/// with a typed body instead of dropping the connection.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
+    let bad = |msg: &str| CedarError::SpecParse(format!("http: {msg}"));
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| bad(&format!("request line: {e}")))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let path = parts
+        .next()
+        .ok_or_else(|| bad("request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(&format!("unsupported version `{version}`")));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| bad(&format!("header: {e}")))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(bad(&format!("malformed header `{header}`")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| bad("unparseable Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(bad(&format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| bad(&format!("body: {e}")))?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// The reason phrase for the statuses the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete `Connection: close` response. `extra_headers`
+/// lines are emitted verbatim (no trailing CRLF in the input).
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[&str],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Renders a [`CedarError`] as the service's typed JSON error body:
+/// `{"error":{"kind":...,"message":...}}`.
+pub fn error_body(err: &CedarError) -> String {
+    let mut inner = cedar_obs::json::Obj::new();
+    inner
+        .str("kind", err.kind())
+        .str("message", &err.to_string());
+    let mut outer = cedar_obs::json::Obj::new();
+    outer.raw("error", inner.finish());
+    outer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/run");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get() {
+        let raw = b"GET /metrics HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_framing_is_a_spec_parse_error() {
+        for raw in [
+            &b"POST\r\n\r\n"[..],
+            &b"POST /run FTP/9\r\n\r\n"[..],
+            &b"POST /run HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"POST /run HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"[..],
+        ] {
+            let err = read_request(&mut &raw[..]).unwrap_err();
+            assert_eq!(err.kind(), "spec_parse", "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_buffering() {
+        let raw = format!(
+            "POST /run HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn responses_are_framed_and_errors_typed() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            &["Retry-After: 1"],
+            b"{}",
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+
+        let body = error_body(&CedarError::SpecParse("no such app".into()));
+        let parsed = cedar_obs::json::parse(&body).unwrap();
+        let error = parsed.get("error").unwrap();
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("spec_parse"));
+    }
+}

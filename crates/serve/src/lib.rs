@@ -1,0 +1,50 @@
+//! # cedar-serve — the campaign service
+//!
+//! Exposes the workspace's measurement campaigns over HTTP/1.1 on a
+//! plain [`std::net::TcpListener`] — no external dependencies, like the
+//! rest of the workspace. A request POSTs a JSON campaign spec
+//! ([`CampaignSpec`]) naming an application, a processor configuration,
+//! a scheduler, a fault-plan intensity and a telemetry level; the
+//! service parses it into the same typed [`cedar_core::RunOptions`] /
+//! `SimConfig` surface the library and bench harness use, executes it
+//! through [`cedar_core::SuiteResult`] with the content-addressed run
+//! cache in read-write mode, and answers with the run's content address,
+//! fingerprint and the paper-style overhead decomposition as ordered
+//! JSON ([`reply`]).
+//!
+//! Because simulation is deterministic and replies never embed
+//! wall-clock values, a warm (cache-hit) reply is byte-identical to the
+//! cold reply for the same spec; hit/miss evidence is visible on
+//! `GET /metrics` (Prometheus text, [`metrics`]) instead.
+//!
+//! Load shedding is explicit: the accept loop feeds a bounded
+//! connection queue ([`ServeOptions::queue`]) and overflow is answered
+//! immediately with `503 Service Unavailable` + `Retry-After` — the
+//! service never blocks the accept loop on simulation and never panics
+//! on malformed input (those get a `400` with a typed
+//! [`cedar_core::CedarError`] body). `SIGINT`/`SIGTERM` drain in-flight
+//! runs before the process exits ([`signal`]).
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use cedar_serve::{ServeOptions, Server};
+//!
+//! let opts = ServeOptions::default().with_addr("127.0.0.1:0");
+//! let server = Server::start(&opts).expect("bind");
+//! println!("listening on {}", server.local_addr());
+//! server.join(); // runs until shutdown() (or a signal in the bin)
+//! ```
+
+pub mod http;
+pub mod metrics;
+pub mod options;
+pub mod reply;
+pub mod server;
+pub mod signal;
+pub mod spec;
+
+pub use metrics::Metrics;
+pub use options::ServeOptions;
+pub use server::Server;
+pub use spec::CampaignSpec;

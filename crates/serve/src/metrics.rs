@@ -1,0 +1,256 @@
+//! Service self-telemetry, exposed as Prometheus text on `/metrics`.
+//!
+//! All counters are atomics behind one shared [`Metrics`] value — the
+//! accept loop, every worker and the scrape handler touch it
+//! concurrently without locks. The exposition follows the Prometheus
+//! text format, version 0.0.4: `# HELP` / `# TYPE` preamble, one sample
+//! per line, histograms as cumulative `_bucket` series plus `_sum` and
+//! `_count`.
+//!
+//! Cache traffic is the deterministic-reply design's visible face:
+//! reply bodies are byte-identical cold vs. warm, so
+//! `cedar_serve_cache_hits_total` is where a client (and the CI smoke
+//! gate) observes that warm requests were served from the
+//! content-addressed store.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds, microseconds. Spans sub-millisecond
+/// parse work up to multi-second full-scale campaigns.
+pub const BUCKET_BOUNDS_US: [u64; 10] = [
+    100,
+    1_000,
+    5_000,
+    25_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    25_000_000,
+    100_000_000,
+];
+
+/// One latency histogram: cumulative-on-render buckets plus sum/count.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    counts: [AtomicU64; BUCKET_BOUNDS_US.len()],
+    overflow: AtomicU64,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe_us(&self, us: u64) {
+        match BUCKET_BOUNDS_US.iter().position(|&b| us <= b) {
+            Some(i) => self.counts[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, phase: &str) {
+        let mut cumulative = 0;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.counts[i].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "{name}_bucket{{phase=\"{phase}\",le=\"{}\"}} {cumulative}\n",
+                bound as f64 / 1e6
+            ));
+        }
+        cumulative += self.overflow.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "{name}_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "{name}_sum{{phase=\"{phase}\"}} {}\n",
+            self.sum_us.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "{name}_count{{phase=\"{phase}\"}} {}\n",
+            self.count()
+        ));
+    }
+}
+
+/// The service's counter set.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Completed requests by status code, in emission order 200 / 400 /
+    /// 404 / 405 / 503 / 500.
+    ok: AtomicU64,
+    bad_request: AtomicU64,
+    not_found: AtomicU64,
+    bad_method: AtomicU64,
+    shed: AtomicU64,
+    internal: AtomicU64,
+    /// Run-cache traffic accumulated across campaign requests.
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    /// Current connection-queue depth (gauge).
+    queue_depth: AtomicI64,
+    /// Request phases: HTTP read+spec parse, campaign execution, reply
+    /// render+write.
+    parse_latency: Histogram,
+    execute_latency: Histogram,
+    write_latency: Histogram,
+}
+
+impl Metrics {
+    /// Counts one completed request by response status.
+    pub fn count_status(&self, status: u16) {
+        let c = match status {
+            200 => &self.ok,
+            400 => &self.bad_request,
+            404 => &self.not_found,
+            405 => &self.bad_method,
+            503 => &self.shed,
+            _ => &self.internal,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered `503` (load shed).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Folds one campaign's cache traffic in.
+    pub fn count_cache(&self, stats: &cedar_cache::CacheStats) {
+        self.cache_hits.fetch_add(stats.hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(stats.misses, Ordering::Relaxed);
+    }
+
+    /// Cache hits observed so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Adjusts the queue-depth gauge by `delta`.
+    pub fn queue_delta(&self, delta: i64) {
+        self.queue_depth.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The parse-phase histogram.
+    pub fn parse_latency(&self) -> &Histogram {
+        &self.parse_latency
+    }
+
+    /// The execute-phase histogram.
+    pub fn execute_latency(&self) -> &Histogram {
+        &self.execute_latency
+    }
+
+    /// The write-phase histogram.
+    pub fn write_latency(&self) -> &Histogram {
+        &self.write_latency
+    }
+
+    /// Renders the whole family as Prometheus exposition text.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str(
+            "# HELP cedar_serve_requests_total Completed requests by response status.\n\
+             # TYPE cedar_serve_requests_total counter\n",
+        );
+        for (code, c) in [
+            ("200", &self.ok),
+            ("400", &self.bad_request),
+            ("404", &self.not_found),
+            ("405", &self.bad_method),
+            ("503", &self.shed),
+            ("500", &self.internal),
+        ] {
+            out.push_str(&format!(
+                "cedar_serve_requests_total{{code=\"{code}\"}} {}\n",
+                c.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str(
+            "# HELP cedar_serve_cache_hits_total Campaign runs served from the run cache.\n\
+             # TYPE cedar_serve_cache_hits_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_cache_hits_total {}\n",
+            self.cache_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_cache_misses_total Campaign runs that had to simulate.\n\
+             # TYPE cedar_serve_cache_misses_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_cache_misses_total {}\n",
+            self.cache_misses.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_queue_depth Connections waiting for a worker.\n\
+             # TYPE cedar_serve_queue_depth gauge\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_queue_depth {}\n",
+            self.queue_depth.load(Ordering::Relaxed).max(0)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_request_phase_seconds Request latency by phase.\n\
+             # TYPE cedar_serve_request_phase_seconds histogram\n",
+        );
+        for (phase, h) in [
+            ("parse", &self.parse_latency),
+            ("execute", &self.execute_latency),
+            ("write", &self.write_latency),
+        ] {
+            h.render(&mut out, "cedar_serve_request_phase_seconds", phase);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded() {
+        let h = Histogram::default();
+        h.observe_us(50); // first bucket
+        h.observe_us(600); // second bucket
+        h.observe_us(200_000_000); // beyond the last bound
+        let mut out = String::new();
+        h.render(&mut out, "m", "p");
+        assert!(
+            out.contains("m_bucket{phase=\"p\",le=\"0.0001\"} 1\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("m_bucket{phase=\"p\",le=\"0.001\"} 2\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("m_bucket{phase=\"p\",le=\"+Inf\"} 3\n"),
+            "{out}"
+        );
+        assert!(out.contains("m_count{phase=\"p\"} 3\n"), "{out}");
+    }
+
+    #[test]
+    fn exposition_covers_every_family() {
+        let m = Metrics::default();
+        m.count_status(200);
+        m.count_status(503);
+        m.queue_delta(2);
+        m.queue_delta(-1);
+        let text = m.render_prometheus();
+        assert!(text.contains("cedar_serve_requests_total{code=\"200\"} 1\n"));
+        assert!(text.contains("cedar_serve_requests_total{code=\"503\"} 1\n"));
+        assert!(text.contains("cedar_serve_cache_hits_total 0\n"));
+        assert!(text.contains("cedar_serve_queue_depth 1\n"));
+        assert!(text.contains("# TYPE cedar_serve_request_phase_seconds histogram\n"));
+        assert_eq!(m.shed_total(), 1);
+    }
+}

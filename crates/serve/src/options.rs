@@ -1,0 +1,128 @@
+//! Typed service configuration.
+//!
+//! The service follows the workspace's configuration rule: the
+//! environment is consulted exactly once, by [`ServeOptions::from_env`]
+//! at process startup, and everything downstream takes the typed value.
+//! This module is the serve crate's only sanctioned `std::env::var`
+//! reader (enforced by the `scripts/ci.sh` env-read guard).
+
+use std::path::PathBuf;
+
+/// The campaign service's host-process configuration: where to listen,
+/// how much backlog to absorb before shedding load, how many worker
+/// threads execute campaigns, and where the run cache lives.
+///
+/// # Example
+///
+/// ```
+/// use cedar_serve::ServeOptions;
+///
+/// let opts = ServeOptions::default()
+///     .with_addr("127.0.0.1:0")
+///     .with_queue(8)
+///     .with_workers(2);
+/// assert_eq!(opts.addr, "127.0.0.1:0");
+/// assert_eq!(opts.queue, 8);
+/// assert_eq!(opts.workers, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Listen address, `host:port` (port 0 = ephemeral).
+    pub addr: String,
+    /// Bounded connection-queue capacity; an accept beyond this is
+    /// answered `503` + `Retry-After` instead of queueing.
+    pub queue: usize,
+    /// Worker threads executing campaigns off the queue.
+    pub workers: usize,
+    /// Run-cache directory override (`None` = the workspace
+    /// `results/cache/`). Typed-only — no environment variable sets it.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7878".to_string(),
+            queue: 64,
+            workers: 2,
+            cache_dir: None,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Reads the service configuration from the environment — the serve
+    /// crate's single sanctioned env read.
+    ///
+    /// | variable            | field     | accepted values       |
+    /// |---------------------|-----------|-----------------------|
+    /// | `CEDAR_SERVE_ADDR`  | `addr`    | `host:port`           |
+    /// | `CEDAR_SERVE_QUEUE` | `queue`   | integer ≥ 1           |
+    ///
+    /// Unset or empty variables keep the defaults; a non-numeric queue
+    /// is ignored rather than guessed at.
+    pub fn from_env() -> ServeOptions {
+        let var = |name: &str| std::env::var(name).ok().filter(|v| !v.is_empty());
+        let defaults = ServeOptions::default();
+        ServeOptions {
+            addr: var("CEDAR_SERVE_ADDR").unwrap_or(defaults.addr),
+            queue: var("CEDAR_SERVE_QUEUE")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n: &usize| n >= 1)
+                .unwrap_or(defaults.queue),
+            ..defaults
+        }
+    }
+
+    /// Overrides the listen address (builder style).
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Bounds the connection queue (builder style, clamped to ≥ 1).
+    pub fn with_queue(mut self, queue: usize) -> Self {
+        self.queue = queue.max(1);
+        self
+    }
+
+    /// Sets the campaign worker-thread count (builder style, clamped to
+    /// ≥ 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Redirects the run cache (builder style).
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ServeOptions::default();
+        assert_eq!(o.addr, "127.0.0.1:7878");
+        assert_eq!(o.queue, 64);
+        assert_eq!(o.workers, 2);
+        assert_eq!(o.cache_dir, None);
+    }
+
+    #[test]
+    fn builders_clamp_to_usable_values() {
+        let o = ServeOptions::default()
+            .with_addr("0.0.0.0:0")
+            .with_queue(0)
+            .with_workers(0)
+            .with_cache_dir("/tmp/c");
+        assert_eq!(o.addr, "0.0.0.0:0");
+        assert_eq!(o.queue, 1, "queue clamps to 1");
+        assert_eq!(o.workers, 1, "workers clamp to 1");
+        assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
+    }
+}

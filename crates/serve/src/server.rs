@@ -1,0 +1,293 @@
+//! The service: accept loop, bounded queue, worker pool, graceful drain.
+//!
+//! The accept thread never executes a campaign — it only classifies:
+//! queue has room → enqueue and wake a worker; queue full → answer
+//! `503` + `Retry-After` on the spot and close. That keeps the
+//! backpressure decision O(µs) no matter how long the workers are busy,
+//! which is the whole point of bounding the queue explicitly instead of
+//! letting the kernel's listen backlog absorb (and hide) the overload.
+//!
+//! Shutdown is cooperative: [`Server::shutdown`] (or a signal, via
+//! [`crate::signal`]) flips a flag the nonblocking accept loop polls;
+//! workers then drain every already-queued connection before exiting,
+//! so an accepted request is never dropped mid-run.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cedar_core::{CacheMode, CedarError, SuiteResult};
+use cedar_obs::json;
+
+use crate::http::{self, Request};
+use crate::metrics::Metrics;
+use crate::options::ServeOptions;
+use crate::reply;
+use crate::spec::CampaignSpec;
+
+/// The `Retry-After` the service advertises when shedding load,
+/// seconds.
+pub const RETRY_AFTER_S: u32 = 1;
+
+/// How often the accept loop re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// Shared mutable state: the bounded connection queue plus the drain
+/// flag, under one mutex so workers can wait on both with one condvar.
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    metrics: Metrics,
+    opts: ServeOptions,
+}
+
+/// A running campaign service. Dropping the handle without calling
+/// [`Server::join`] detaches the threads (the test suite joins).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `opts.addr`, spawns the accept loop and `opts.workers`
+    /// campaign workers, and returns once the service is ready to
+    /// answer. An unbindable address is [`CedarError::Internal`].
+    pub fn start(opts: &ServeOptions) -> Result<Server, CedarError> {
+        let listener = TcpListener::bind(&opts.addr)
+            .map_err(|e| CedarError::Internal(format!("bind {}: {e}", opts.addr)))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| CedarError::Internal(format!("local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| CedarError::Internal(format!("set_nonblocking: {e}")))?;
+
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            metrics: Metrics::default(),
+            opts: opts.clone(),
+        });
+
+        let mut threads = Vec::with_capacity(opts.workers + 1);
+        let accept_shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(listener, &accept_shared))
+                .map_err(|e| CedarError::Internal(format!("spawn accept: {e}")))?,
+        );
+        for i in 0..opts.workers {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared))
+                    .map_err(|e| CedarError::Internal(format!("spawn worker: {e}")))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service's metrics, for in-process inspection.
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Requests a graceful drain: stop accepting, finish everything
+    /// already queued, then let the threads exit. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Blocks until every thread has exited (i.e. until a shutdown has
+    /// been requested and the queue has drained).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accept loop: nonblocking accept + shutdown polling + backpressure.
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let mut q = shared.queue.lock().unwrap();
+                if q.len() >= shared.opts.queue {
+                    drop(q);
+                    shed(stream, shared);
+                } else {
+                    q.push_back(stream);
+                    drop(q);
+                    shared.metrics.queue_delta(1);
+                    shared.available.notify_one();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    // Wake the workers so they notice the flag and drain.
+    shared.available.notify_all();
+}
+
+/// Sheds one connection with `503` + `Retry-After`. `stream` was moved
+/// out of the queue path, so the worker pool never sees it.
+fn shed(stream: TcpStream, shared: &Shared) {
+    let mut stream = stream;
+    let err = CedarError::Overloaded {
+        retry_after_s: RETRY_AFTER_S,
+    };
+    let retry = format!("Retry-After: {RETRY_AFTER_S}");
+    let _ = http::write_response(
+        &mut stream,
+        err.http_status(),
+        "application/json",
+        &[&retry],
+        http::error_body(&err).as_bytes(),
+    );
+    shared.metrics.count_status(err.http_status());
+}
+
+/// Worker loop: pop, handle, repeat; exit once shutdown is flagged and
+/// the queue is empty (the drain guarantee).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .unwrap();
+                q = guard;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        shared.metrics.queue_delta(-1);
+        handle_connection(&mut stream, shared);
+    }
+}
+
+/// Parses, routes and answers one connection, timing each phase.
+fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let parse_start = Instant::now();
+    let request = http::read_request(stream);
+    shared
+        .metrics
+        .parse_latency()
+        .observe_us(parse_start.elapsed().as_micros() as u64);
+
+    let (status, content_type, body) = match request {
+        Err(err) => (
+            err.http_status(),
+            "application/json",
+            http::error_body(&err),
+        ),
+        Ok(req) => route(&req, shared),
+    };
+
+    let write_start = Instant::now();
+    let _ = http::write_response(stream, status, content_type, &[], body.as_bytes());
+    shared
+        .metrics
+        .write_latency()
+        .observe_us(write_start.elapsed().as_micros() as u64);
+    shared.metrics.count_status(status);
+}
+
+/// Dispatches one parsed request to its endpoint.
+fn route(req: &Request, shared: &Shared) -> (u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut o = json::Obj::new();
+            o.str("status", "ok");
+            (200, "application/json", o.finish())
+        }
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            shared.metrics.render_prometheus(),
+        ),
+        ("POST", "/run") => match run_campaign(&req.body, shared) {
+            Ok(body) => (200, "application/json", body),
+            Err(err) => (
+                err.http_status(),
+                "application/json",
+                http::error_body(&err),
+            ),
+        },
+        (_, "/healthz" | "/metrics" | "/run") => {
+            let err =
+                CedarError::SpecParse(format!("method {} not allowed on {}", req.method, req.path));
+            (405, "application/json", http::error_body(&err))
+        }
+        _ => {
+            let err = CedarError::SpecParse(format!("no such endpoint `{}`", req.path));
+            (404, "application/json", http::error_body(&err))
+        }
+    }
+}
+
+/// Executes one `POST /run` body: spec → typed options → the same
+/// `SuiteResult` path the library exposes, with the run cache in
+/// read-write mode so repeated specs replay from disk.
+fn run_campaign(body: &[u8], shared: &Shared) -> Result<String, CedarError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| CedarError::SpecParse("body is not UTF-8".to_string()))?;
+    let spec = CampaignSpec::from_json(text)?;
+    let mut opts = spec.run_options().with_cache(CacheMode::ReadWrite);
+    if let Some(dir) = &shared.opts.cache_dir {
+        opts = opts.with_output_dir(dir);
+    }
+
+    let execute_start = Instant::now();
+    let outcome = std::panic::catch_unwind(|| {
+        // The workload is pre-shrunk; the suite runner applies only the
+        // scheduler and fault plan, mirroring CampaignSpec::sim_config.
+        SuiteResult::run_sequential(&[spec.workload()], &[spec.configuration], &opts)
+    });
+    shared
+        .metrics
+        .execute_latency()
+        .observe_us(execute_start.elapsed().as_micros() as u64);
+    let suite = match outcome {
+        Ok(r) => r?,
+        Err(_) => {
+            return Err(CedarError::Internal(
+                "campaign panicked; see server log".to_string(),
+            ))
+        }
+    };
+    if let Some(cache) = &suite.telemetry.cache {
+        shared.metrics.count_cache(cache);
+    }
+    Ok(reply::render(&spec, &suite.apps[0].runs[0]))
+}

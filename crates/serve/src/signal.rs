@@ -1,0 +1,71 @@
+//! Process-signal wiring for graceful drain, with no external crates.
+//!
+//! `std` does not expose signal handlers, but it already links libc, so
+//! the one symbol we need — `signal(2)` — is declared here directly.
+//! The handler only flips a process-global atomic (the only thing that
+//! is safe to do in async-signal context); the serve bin polls
+//! [`triggered`] and turns it into a [`crate::Server::shutdown`] drain.
+//!
+//! On non-Unix targets the module compiles to a no-op installer so the
+//! crate stays portable; the service then drains only via the explicit
+//! shutdown API.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// True once `SIGINT` or `SIGTERM` has been delivered (after
+/// [`install`]).
+pub fn triggered() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Test/readiness hook: raise the flag as if a signal had arrived.
+pub fn trigger() {
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::os::raw::c_int;
+
+    const SIGINT: c_int = 2;
+    const SIGTERM: c_int = 15;
+
+    extern "C" fn on_signal(_sig: c_int) {
+        // Only an atomic store: async-signal-safe.
+        super::SIGNALLED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: c_int, handler: extern "C" fn(c_int)) -> usize;
+    }
+
+    /// Routes `SIGINT` and `SIGTERM` to the drain flag.
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal support on this target; drains happen via the API.
+    pub fn install() {}
+}
+
+pub use imp::install;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigger_raises_the_flag() {
+        install();
+        trigger();
+        assert!(triggered());
+    }
+}

@@ -1,0 +1,234 @@
+//! The campaign spec: the service's request schema.
+//!
+//! A `POST /run` body is a flat JSON object naming one `(application,
+//! configuration)` experiment plus the campaign knobs the workspace
+//! already types:
+//!
+//! ```json
+//! {
+//!   "app": "FLO52",
+//!   "processors": 32,
+//!   "scheduler": "calendar",
+//!   "faults": 0,
+//!   "telemetry": "summary",
+//!   "shrink": 16
+//! }
+//! ```
+//!
+//! Only `app` and `processors` are required. Parsing is strict — an
+//! unknown field, a processor count that is not a Cedar configuration,
+//! or an out-of-range fault level is a [`CedarError::SpecParse`], never
+//! a silently-defaulted run of the wrong experiment. The parsed spec
+//! lowers onto the existing typed surface ([`RunOptions`],
+//! [`AppSpec::shrunk`], [`FaultPlan::canonical_at`]) so a service run
+//! is the same computation as a library run, measurement for
+//! measurement.
+
+use cedar_apps::AppSpec;
+use cedar_core::{CedarError, RunOptions, SimConfig, TelemetryLevel};
+use cedar_faults::FaultPlan;
+use cedar_hw::Configuration;
+use cedar_obs::json::{self, JsonValue};
+use cedar_sim::SchedKind;
+
+/// The highest fault-plan intensity [`FaultPlan::canonical_at`] is
+/// specified for (the `faultsweep` ladder).
+pub const MAX_FAULT_LEVEL: u64 = 4;
+
+/// One validated campaign request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Workload, resolved via [`cedar_apps::app_by_name`].
+    pub app: AppSpec,
+    /// Machine size.
+    pub configuration: Configuration,
+    /// Event-scheduler backend.
+    pub scheduler: SchedKind,
+    /// Fault-plan intensity, `0..=MAX_FAULT_LEVEL` (0 = unperturbed).
+    pub fault_level: u32,
+    /// Reply verbosity: `Full` adds the deterministic counter rollup.
+    pub telemetry: TelemetryLevel,
+    /// Workload shrink divisor (1 = publication scale).
+    pub shrink: u32,
+}
+
+impl CampaignSpec {
+    /// Parses and validates a request body.
+    pub fn from_json(body: &str) -> Result<CampaignSpec, CedarError> {
+        let bad = |msg: String| CedarError::SpecParse(msg);
+        let value = json::parse(body).map_err(bad)?;
+        let JsonValue::Obj(fields) = &value else {
+            return Err(bad("campaign spec must be a JSON object".to_string()));
+        };
+        for (name, _) in fields {
+            if !matches!(
+                name.as_str(),
+                "app" | "processors" | "scheduler" | "faults" | "telemetry" | "shrink"
+            ) {
+                return Err(bad(format!("unknown spec field `{name}`")));
+            }
+        }
+
+        let app_name = value
+            .get("app")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| bad("spec needs an `app` string".to_string()))?;
+        let app = cedar_apps::app_by_name(app_name).ok_or_else(|| {
+            bad(format!(
+                "unknown application `{app_name}` (expected one of FLO52, ARC2D, MDG, OCEAN, ADM)"
+            ))
+        })?;
+
+        let processors = value
+            .get("processors")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| bad("spec needs a `processors` count".to_string()))?;
+        let configuration = Configuration::ALL
+            .into_iter()
+            .find(|c| u64::from(c.total_ces()) == processors)
+            .ok_or_else(|| {
+                bad(format!(
+                    "`processors` must be 1, 4, 8, 16 or 32, got {processors}"
+                ))
+            })?;
+
+        let scheduler = match value.get("scheduler") {
+            None => SchedKind::default(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| bad("`scheduler` must be a string".to_string()))?
+                .parse()
+                .map_err(bad)?,
+        };
+        let telemetry = match value.get("telemetry") {
+            None => TelemetryLevel::default(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| bad("`telemetry` must be a string".to_string()))?
+                .parse()
+                .map_err(bad)?,
+        };
+        let fault_level = match value.get("faults") {
+            None => 0,
+            Some(v) => {
+                let level = v
+                    .as_u64()
+                    .ok_or_else(|| bad("`faults` must be an integer level".to_string()))?;
+                if level > MAX_FAULT_LEVEL {
+                    return Err(bad(format!(
+                        "`faults` must be 0..={MAX_FAULT_LEVEL}, got {level}"
+                    )));
+                }
+                level as u32
+            }
+        };
+        let shrink = match value.get("shrink") {
+            None => 1,
+            Some(v) => {
+                let s = v
+                    .as_u64()
+                    .ok_or_else(|| bad("`shrink` must be an integer ≥ 1".to_string()))?;
+                if s == 0 || s > u64::from(u32::MAX) {
+                    return Err(bad(format!("`shrink` must be ≥ 1, got {s}")));
+                }
+                s as u32
+            }
+        };
+
+        Ok(CampaignSpec {
+            app,
+            configuration,
+            scheduler,
+            fault_level,
+            telemetry,
+            shrink,
+        })
+    }
+
+    /// The campaign options this spec lowers to. The cache knobs stay
+    /// with the server ([`crate::Server`]), not the request — a client
+    /// cannot opt a run out of the shared cache.
+    pub fn run_options(&self) -> RunOptions {
+        RunOptions::default()
+            .with_scheduler(self.scheduler)
+            .with_shrink(self.shrink)
+            .with_telemetry(self.telemetry)
+            .with_faults(FaultPlan::canonical_at(self.fault_level))
+    }
+
+    /// The workload at this spec's scale.
+    pub fn workload(&self) -> AppSpec {
+        self.app.shrunk(self.shrink)
+    }
+
+    /// The simulated-machine configuration this spec's cell runs under —
+    /// the same lowering the suite runners apply
+    /// (`SimConfig::cedar(c)` plus the campaign's scheduler and fault
+    /// plan), so content-address keys agree between service and library
+    /// paths.
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::cedar(self.configuration)
+            .with_scheduler(self.scheduler)
+            .with_faults(FaultPlan::canonical_at(self.fault_level))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_fills_defaults() {
+        let s = CampaignSpec::from_json(r#"{"app":"flo52","processors":8}"#).unwrap();
+        assert_eq!(s.app.name, "FLO52");
+        assert_eq!(s.configuration, Configuration::P8);
+        assert_eq!(s.scheduler, SchedKind::Calendar);
+        assert_eq!(s.fault_level, 0);
+        assert_eq!(s.telemetry, TelemetryLevel::Summary);
+        assert_eq!(s.shrink, 1);
+    }
+
+    #[test]
+    fn full_spec_round_trips_every_knob() {
+        let s = CampaignSpec::from_json(
+            r#"{"app":"MDG","processors":32,"scheduler":"heap","faults":3,
+                "telemetry":"full","shrink":16}"#,
+        )
+        .unwrap();
+        assert_eq!(s.configuration, Configuration::P32);
+        assert_eq!(s.scheduler, SchedKind::Heap);
+        assert_eq!(s.fault_level, 3);
+        assert_eq!(s.telemetry, TelemetryLevel::Full);
+        let opts = s.run_options();
+        assert_eq!(opts.shrink, 16);
+        assert_eq!(opts.faults, FaultPlan::canonical_at(3));
+        assert_eq!(s.workload().name, "MDG");
+    }
+
+    #[test]
+    fn bad_specs_are_typed_parse_errors() {
+        for (body, needle) in [
+            ("[1,2]", "object"),
+            ("not json", "invalid literal"),
+            (r#"{"processors":8}"#, "`app`"),
+            (r#"{"app":"FLO52"}"#, "`processors`"),
+            (r#"{"app":"NOPE","processors":8}"#, "unknown application"),
+            (r#"{"app":"FLO52","processors":7}"#, "1, 4, 8, 16 or 32"),
+            (
+                r#"{"app":"FLO52","processors":8,"scheduler":"lifo"}"#,
+                "scheduler",
+            ),
+            (r#"{"app":"FLO52","processors":8,"faults":9}"#, "0..=4"),
+            (r#"{"app":"FLO52","processors":8,"shrink":0}"#, "≥ 1"),
+            (
+                r#"{"app":"FLO52","processors":8,"turbo":true}"#,
+                "unknown spec field",
+            ),
+        ] {
+            let err = CampaignSpec::from_json(body).unwrap_err();
+            assert_eq!(err.kind(), "spec_parse", "{body}");
+            assert_eq!(err.http_status(), 400, "{body}");
+            assert!(err.to_string().contains(needle), "{body} -> {err}");
+        }
+    }
+}

@@ -236,17 +236,11 @@ impl<E> CalendarSchedule<E> {
     /// way). Called whenever `cur_day` changes, preserving the invariant
     /// that live overflow events are strictly beyond the wheel.
     fn refill_from_overflow(&mut self) {
-        loop {
-            let key = match self.overflow.peek() {
-                Some((key, entry)) => {
-                    if !entry.is_live(&self.arena) {
-                        self.overflow.pop();
-                        continue;
-                    }
-                    key
-                }
-                None => break,
-            };
+        while let Some((key, entry)) = self.overflow.peek() {
+            if !entry.is_live(&self.arena) {
+                self.overflow.pop();
+                continue;
+            }
             let at = key_time(key);
             if !self.fits_wheel(self.day_of(at)) {
                 break;

@@ -13,12 +13,14 @@ cd "$(dirname "$0")/.."
 
 # Environment-read guard: library crates must take their configuration
 # through the typed cedar_obs::RunOptions surface, not ambient std::env
-# reads. Only two sanctioned readers exist — RunOptions::from_env
-# (crates/obs/src/options.rs) and the golden-snapshot re-recorder
+# reads. Only three sanctioned readers exist — RunOptions::from_env
+# (crates/obs/src/options.rs), ServeOptions::from_env
+# (crates/serve/src/options.rs) and the golden-snapshot re-recorder
 # (UPDATE_GOLDEN, crates/report/src/golden.rs). Any other hit fails CI.
 echo "==> env-read guard (std::env::var outside sanctioned modules)"
 leaks=$(grep -rn "std::env::var" crates/*/src \
     | grep -v "^crates/obs/src/options\.rs:" \
+    | grep -v "^crates/serve/src/options\.rs:" \
     | grep -v "^crates/report/src/golden\.rs:" \
     || true)
 if [ -n "$leaks" ]; then
@@ -80,7 +82,7 @@ echo "    wrote results/RUN_manifest.json + results/RUN_telemetry.jsonl"
 # directly so the timing compares campaigns, not cargo overhead.
 echo "==> run-cache soundness (cold vs warm campaign, CEDAR_SHRINK=4)"
 scratch=$(mktemp -d "${TMPDIR:-/tmp}/cedar-cache-ci.XXXXXX")
-trap 'rm -rf "$scratch"' EXIT
+trap 'rm -rf "$scratch"; [ -n "${serve_pid:-}" ] && kill "$serve_pid" 2>/dev/null || true' EXIT
 mask_manifest() {
     sed -e 's/"git":"[^"]*"/"git":"MASKED"/' \
         -e 's/"git":null/"git":"MASKED"/' \
@@ -128,6 +130,56 @@ if [ "$slow" = 1 ]; then
     echo "raise the floor via CACHE_MIN_SPEEDUP only with a reason" >&2
     exit 1
 fi
+
+# Campaign-service smoke: a real server on an ephemeral port, a seeded
+# open-loop burst fired twice with the same seed. Gates: every response
+# is 2xx or an explicit 503 shed (loadgen exits nonzero otherwise), the
+# repeated burst replays ≥90% of its runs from the cache (its key space
+# is identical, so anything lower means the content addressing broke),
+# and the server drains cleanly on SIGTERM.
+echo "==> campaign-service smoke (ephemeral port, seeded load, warm cache)"
+CEDAR_SERVE_ADDR=127.0.0.1:0 CEDAR_SERVE_QUEUE=64 \
+    ./target/release/serve > "$scratch/serve.out" 2> "$scratch/serve.err" &
+serve_pid=$!
+serve_addr=""
+tries=0
+while [ -z "$serve_addr" ] && [ "$tries" -lt 100 ]; do
+    serve_addr=$(sed -n 's/^cedar-serve listening on //p' "$scratch/serve.out")
+    [ -n "$serve_addr" ] || { tries=$((tries + 1)); sleep 0.1; }
+done
+if [ -z "$serve_addr" ]; then
+    echo "error: serve did not report a listen address" >&2
+    cat "$scratch/serve.err" >&2
+    exit 1
+fi
+CEDAR_SERVE_ADDR="$serve_addr" ./target/release/loadgen \
+    --requests 30 --rate 15 --seed 7 --shrink 32 \
+    --out "$scratch/SERVE_cold.json" > /dev/null
+CEDAR_SERVE_ADDR="$serve_addr" ./target/release/loadgen \
+    --requests 30 --rate 15 --seed 7 --shrink 32 \
+    --out results/SERVE_load.json > /dev/null
+test -s results/SERVE_load.json || {
+    echo "error: loadgen did not write results/SERVE_load.json" >&2
+    exit 1
+}
+counter() { sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" "$1"; }
+warm_hits=$(( $(counter results/SERVE_load.json cache_hits_total) \
+    - $(counter "$scratch/SERVE_cold.json" cache_hits_total) ))
+warm_misses=$(( $(counter results/SERVE_load.json cache_misses_total) \
+    - $(counter "$scratch/SERVE_cold.json" cache_misses_total) ))
+low=$(awk "BEGIN{t=$warm_hits+$warm_misses; print (t == 0 || $warm_hits/t < 0.9) ? 1 : 0}")
+if [ "$low" = 1 ]; then
+    echo "error: warm burst hit rate below 90% ($warm_hits hits, $warm_misses misses)" >&2
+    exit 1
+fi
+kill -TERM "$serve_pid"
+wait "$serve_pid" || {
+    echo "error: serve did not drain cleanly on SIGTERM" >&2
+    exit 1
+}
+serve_pid=""
+echo "    $warm_hits/$((warm_hits + warm_misses)) warm hits, graceful drain OK"
+echo "    wrote results/SERVE_load.json"
 
 echo "==> fault-sensitivity sweep smoke (CEDAR_SHRINK=16)"
 CEDAR_SHRINK=16 cargo run --release --offline -p cedar-bench --bin faultsweep > /dev/null

@@ -16,6 +16,8 @@
 //! telemetry: `RunOptions`, recorders, the run-manifest JSON writer) and
 //! [`cache`] (the content-addressed store of completed runs behind
 //! `CEDAR_CACHE`), all built on the [`sim`] discrete-event kernel.
+//! [`serve`] exposes campaigns as an HTTP service with backpressure and
+//! cache-backed replies.
 
 pub use cedar_apps as apps;
 pub use cedar_cache as cache;
@@ -25,6 +27,7 @@ pub use cedar_hw as hw;
 pub use cedar_obs as obs;
 pub use cedar_report as report;
 pub use cedar_rtl as rtl;
+pub use cedar_serve as serve;
 pub use cedar_sim as sim;
 pub use cedar_trace as trace;
 pub use cedar_xylem as xylem;
@@ -37,10 +40,11 @@ pub use cedar_xylem as xylem;
 ///
 /// let opts = RunOptions::default().with_scheduler(SchedKind::Heap);
 /// let app = cedar::apps::synthetic::uniform_xdoall(1, 2, 8, 150, 4);
-/// let suite = SuiteResult::run_sequential(&[app], &[Configuration::P1], &opts);
+/// let suite = SuiteResult::run_sequential(&[app], &[Configuration::P1], &opts).unwrap();
 /// assert!(tables::table1(&suite).contains("1 proc"));
 /// ```
 pub mod prelude {
     pub use cedar_core::prelude::*;
     pub use cedar_report::{csv, figures, golden, tables};
+    pub use cedar_serve::{CampaignSpec, ServeOptions, Server};
 }

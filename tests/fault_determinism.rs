@@ -117,7 +117,8 @@ fn fault_campaign_is_worker_count_independent() {
         .collect();
     let opts1 = RunOptions::default().with_faults(plan).with_workers(1);
     let optsn = RunOptions::default().with_faults(plan).with_workers(3);
-    let sequential = SuiteResult::run_sequential(&apps, &CONFIGS, &opts1);
+    let sequential =
+        SuiteResult::run_sequential(&apps, &CONFIGS, &opts1).expect("sequential campaign");
     let one = SuiteResult::run_parallel(&apps, &CONFIGS, &opts1).expect("1-worker campaign");
     let three = SuiteResult::run_parallel(&apps, &CONFIGS, &optsn).expect("3-worker campaign");
     let want = fingerprint_suite(&sequential);
@@ -137,13 +138,16 @@ fn fault_seed_and_plan_change_the_measurements() {
         &apps,
         &configs,
         &RunOptions::default().with_faults(FaultPlan::canonical()),
-    );
+    )
+    .expect("faulted campaign");
     let reseeded = SuiteResult::run_sequential(
         &apps,
         &configs,
         &RunOptions::default().with_faults(FaultPlan::canonical().with_seed(99)),
-    );
-    let clean = SuiteResult::run_sequential(&apps, &configs, &RunOptions::default());
+    )
+    .expect("reseeded campaign");
+    let clean = SuiteResult::run_sequential(&apps, &configs, &RunOptions::default())
+        .expect("clean campaign");
     let ct = |s: &SuiteResult| s.apps[0].runs[0].completion_time;
     assert_ne!(
         ct(&base),

@@ -37,7 +37,8 @@ fn render_all(suite: &SuiteResult) -> String {
 fn parallel_grid_is_byte_identical_to_sequential() {
     let apps = grid_apps();
     let sequential =
-        SuiteResult::run_sequential(&apps, &Configuration::ALL, &RunOptions::default());
+        SuiteResult::run_sequential(&apps, &Configuration::ALL, &RunOptions::default())
+            .expect("sequential campaign");
     let parallel = SuiteResult::run_parallel(&apps, &Configuration::ALL, &RunOptions::default())
         .expect("no experiment panics");
     assert_eq!(
@@ -102,7 +103,8 @@ fn oversubscribed_pool_matches_too() {
     // More workers than jobs must degrade to one job per worker.
     let apps: Vec<AppSpec> = grid_apps().into_iter().take(2).collect();
     let configs = [Configuration::P1, Configuration::P4];
-    let seq = SuiteResult::run_sequential(&apps, &configs, &RunOptions::default());
+    let seq = SuiteResult::run_sequential(&apps, &configs, &RunOptions::default())
+        .expect("sequential campaign");
     let par = SuiteResult::run_parallel(&apps, &configs, &RunOptions::default().with_workers(64))
         .expect("no panics");
     for (s, p) in seq.apps.iter().zip(&par.apps) {

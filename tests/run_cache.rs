@@ -264,7 +264,7 @@ fn refresh_recomputes_and_overwrites() {
 fn trace_keeping_runs_bypass_the_cache() {
     let root = Root::new("bypass");
     let opts = root.opts(CacheMode::ReadWrite);
-    let session = CacheSession::new(&opts);
+    let session = CacheSession::new(&opts).expect("cache session");
     let a = app(6);
     let traced = SimConfig::cedar(Configuration::P1).with_trace();
 
@@ -296,7 +296,7 @@ fn off_mode_never_touches_disk() {
 #[test]
 fn seeded_round_trip_property() {
     let root = Root::new("prop");
-    let cache = RunCache::open(root.path().join("cache"), CacheMode::ReadWrite);
+    let cache = RunCache::open(root.path().join("cache"), CacheMode::ReadWrite).unwrap();
     let mut rng = SplitMix64::new(0x000C_AC4E_5EED);
     for i in 0..24 {
         let outer = 2 + rng.next_below(6) as u32;
@@ -377,7 +377,7 @@ fn keys_never_collide_across_the_sweep() {
 #[test]
 fn version_skew_is_stale_not_fatal() {
     let root = Root::new("skew");
-    let cache = RunCache::open(root.path().join("cache"), CacheMode::ReadWrite);
+    let cache = RunCache::open(root.path().join("cache"), CacheMode::ReadWrite).unwrap();
     let a = app(8);
     let cfg = SimConfig::cedar(Configuration::P1);
     let direct = cedar::core::Experiment::new(a.clone(), cfg.clone()).run();

@@ -1,0 +1,243 @@
+//! End-to-end tests of the campaign service on a real socket.
+//!
+//! Each test binds an ephemeral port, drives the service with raw
+//! HTTP/1.1 over `TcpStream` (the same framing any client would use),
+//! and checks the service-level guarantees: replies are byte-identical
+//! to the library path (and to their own cache-hit replays), malformed
+//! specs get typed `400`s, overflow gets `503` + `Retry-After`, and a
+//! graceful drain finishes queued work.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use cedar::obs::json;
+use cedar::prelude::*;
+use cedar::serve::reply::measurement_fingerprint;
+
+/// One spec every test can share: small enough to run in milliseconds,
+/// real enough to exercise the full pipeline.
+const SPEC: &str = r#"{"app":"FLO52","processors":4,"scheduler":"calendar","shrink":64}"#;
+
+fn start_server(queue: usize, workers: usize) -> (Server, String) {
+    let cache_dir = std::env::temp_dir().join(format!(
+        "cedar-serve-test-{}-{}",
+        std::process::id(),
+        fastrand()
+    ));
+    let opts = ServeOptions::default()
+        .with_addr("127.0.0.1:0")
+        .with_queue(queue)
+        .with_workers(workers)
+        .with_cache_dir(&cache_dir);
+    let server = Server::start(&opts).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// A tiny unique-ish suffix so parallel tests get distinct cache roots
+/// (no determinism requirement — this only isolates directories).
+fn fastrand() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64
+}
+
+/// Sends one raw request and returns (status, headers, body).
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let (head, payload) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    (status, head.to_string(), payload.to_string())
+}
+
+fn post_run(addr: &str, spec: &str) -> (u16, String) {
+    let (status, _, body) = request(addr, "POST", "/run", spec);
+    (status, body)
+}
+
+#[test]
+fn reply_matches_the_library_path_under_both_schedulers() {
+    let (server, addr) = start_server(16, 2);
+    for scheduler in ["heap", "calendar"] {
+        let spec_text =
+            format!(r#"{{"app":"FLO52","processors":4,"scheduler":"{scheduler}","shrink":64}}"#);
+        let (status, body) = post_run(&addr, &spec_text);
+        assert_eq!(status, 200, "{body}");
+        let reply = json::parse(&body).expect("reply parses");
+
+        // The library path: the same spec lowered by the same code.
+        let spec = CampaignSpec::from_json(&spec_text).unwrap();
+        let result = Experiment::new(spec.workload(), spec.sim_config()).run();
+        let fingerprint = format!("{:016x}", measurement_fingerprint(&result));
+        assert_eq!(
+            reply.get("fingerprint").unwrap().as_str(),
+            Some(fingerprint.as_str()),
+            "service and library measurements diverge under {scheduler}"
+        );
+        assert_eq!(
+            reply.get("completion_time").unwrap().as_u64(),
+            Some(result.completion_time.0)
+        );
+        assert_eq!(
+            reply.get("key").unwrap().as_str(),
+            Some(cedar::core::cache::run_key(&spec.workload(), &spec.sim_config()).hex())
+                .as_deref(),
+        );
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn warm_requests_hit_the_cache_with_byte_identical_bodies() {
+    let (server, addr) = start_server(16, 2);
+    let (cold_status, cold_body) = post_run(&addr, SPEC);
+    assert_eq!(cold_status, 200, "{cold_body}");
+    assert_eq!(server.metrics().cache_hits(), 0, "first request is a miss");
+
+    let (warm_status, warm_body) = post_run(&addr, SPEC);
+    assert_eq!(warm_status, 200);
+    assert_eq!(
+        cold_body, warm_body,
+        "cache-hit replies must be byte-identical to cold replies"
+    );
+    assert_eq!(server.metrics().cache_hits(), 1, "second request replays");
+
+    // The hit is also visible to external scrapers.
+    let (status, _, metrics) = request(&addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("cedar_serve_cache_hits_total 1\n"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("cedar_serve_requests_total{code=\"200\"}"));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn malformed_specs_get_typed_400_bodies() {
+    let (server, addr) = start_server(16, 1);
+    for bad in [
+        "this is not json",
+        r#"{"app":"NOPE","processors":8}"#,
+        r#"{"app":"FLO52","processors":7}"#,
+        r#"{"app":"FLO52","processors":8,"turbo":true}"#,
+    ] {
+        let (status, body) = post_run(&addr, bad);
+        assert_eq!(status, 400, "{bad} -> {body}");
+        let parsed = json::parse(&body).expect("error body is JSON");
+        let error = parsed.get("error").expect("typed error envelope");
+        assert_eq!(error.get("kind").unwrap().as_str(), Some("spec_parse"));
+        assert!(error.get("message").unwrap().as_str().is_some());
+    }
+    // Unknown endpoints and wrong methods are typed too.
+    let (status, _, _) = request(&addr, "GET", "/nope", "");
+    assert_eq!(status, 404);
+    let (status, _, _) = request(&addr, "DELETE", "/run", "");
+    assert_eq!(status, 405);
+    let (status, _, body) = request(&addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"ok\""));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn overflow_is_shed_with_503_and_retry_after() {
+    // One worker, queue of one. Two stalled connections (we connect but
+    // never send the request) pin the worker and fill the queue; every
+    // further connection must be shed immediately.
+    let (server, addr) = start_server(1, 1);
+    let stall_worker = TcpStream::connect(&addr).expect("stall 1");
+    std::thread::sleep(Duration::from_millis(150)); // let the worker pop it
+    let stall_queue = TcpStream::connect(&addr).expect("stall 2");
+    std::thread::sleep(Duration::from_millis(150)); // let the accept loop queue it
+
+    let mut shed = 0;
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut response = String::new();
+        stream
+            .read_to_string(&mut response)
+            .expect("read shed reply");
+        assert!(
+            response.starts_with("HTTP/1.1 503 "),
+            "expected shed, got: {response}"
+        );
+        assert!(response.contains("Retry-After: 1\r\n"), "{response}");
+        assert!(response.contains("\"kind\":\"overloaded\""), "{response}");
+        shed += 1;
+    }
+    assert_eq!(shed, 3);
+    assert_eq!(server.metrics().shed_total(), 3);
+    drop(stall_worker);
+    drop(stall_queue);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn graceful_drain_completes_queued_runs() {
+    let (server, addr) = start_server(16, 1);
+    // Submit a real run, give the accept loop time to queue it, then
+    // immediately request shutdown: the reply must still be a complete
+    // 200 campaign, not a reset.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(
+            format!(
+                "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{SPEC}",
+                SPEC.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    std::thread::sleep(Duration::from_millis(300));
+    server.shutdown();
+
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(
+        response.starts_with("HTTP/1.1 200 "),
+        "drain dropped an accepted run: {response}"
+    );
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    assert!(json::parse(body).is_ok(), "drained reply is complete JSON");
+    server.join();
+
+    // The drained server no longer accepts.
+    assert!(
+        TcpStream::connect(&addr).is_err() || request(&addr, "GET", "/healthz", "").0 == 0,
+        "listener should be closed after join"
+    );
+}
