@@ -1,0 +1,142 @@
+//! The violation report: `CHECK_violations.json`.
+//!
+//! The checker always writes the report — an empty `violations` array
+//! *is* the result when every oracle holds, and CI archives the file
+//! either way. Ordered JSON via the workspace writer, so two clean
+//! runs of the same corpus produce byte-identical reports (counters
+//! are deterministic; no wall-clock field exists).
+
+use std::io;
+use std::path::Path;
+
+use cedar_obs::json::{self, Obj};
+use cedar_obs::Counters;
+
+use crate::oracle::{OracleKind, Violation};
+
+/// One checker invocation's summary.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Cases evaluated.
+    pub cases: u64,
+    /// Simulations executed.
+    pub runs: u64,
+    /// Every violation found, with shrunk reproducers where the
+    /// shrinker ran.
+    pub violations: Vec<Violation>,
+    /// The harness's `check.*` counter rollup.
+    pub counters: Counters,
+}
+
+impl CheckReport {
+    /// Builds a report from the harness state after a corpus sweep.
+    pub fn new(violations: Vec<Violation>, counters: Counters) -> CheckReport {
+        CheckReport {
+            cases: counters.get("check.cases"),
+            runs: counters.get("check.runs"),
+            violations,
+            counters,
+        }
+    }
+
+    /// Renders the report as ordered JSON (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut o = Obj::new();
+        o.str("schema", "cedar-check/1");
+        o.raw(
+            "oracles",
+            json::str_array(OracleKind::ALL.iter().map(|k| k.name())),
+        );
+        o.u64("cases", self.cases);
+        o.u64("runs", self.runs);
+        o.u64("violations_total", self.violations.len() as u64);
+        o.raw(
+            "violations",
+            json::array(self.violations.iter().map(|v| v.to_json())),
+        );
+        let mut counters = Obj::new();
+        for (name, value) in self.counters.iter() {
+            counters.u64(name, value);
+        }
+        o.raw("counters", counters.finish());
+        let mut out = o.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Writes the report to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::CheckCase;
+    use cedar_hw::Configuration;
+
+    fn sample() -> CheckReport {
+        let mut counters = Counters::default();
+        counters.add("check.cases", 2);
+        counters.add("check.runs", 19);
+        counters.add("check.oracles.pass", 15);
+        counters.add("check.oracles.violation", 1);
+        CheckReport::new(
+            vec![Violation {
+                oracle: OracleKind::TieStability,
+                case: CheckCase {
+                    app: "OCEAN",
+                    configuration: Configuration::P8,
+                    fault_level: 0,
+                    shrink: 16,
+                    shuffle_seed: 9,
+                },
+                detail: "completion time outside band".to_string(),
+            }],
+            counters,
+        )
+    }
+
+    #[test]
+    fn report_parses_and_carries_the_registry() {
+        let r = sample();
+        let parsed = json::parse(&r.render()).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some("cedar-check/1")
+        );
+        assert_eq!(parsed.get("cases").and_then(|c| c.as_u64()), Some(2));
+        assert_eq!(
+            parsed.get("violations_total").and_then(|c| c.as_u64()),
+            Some(1)
+        );
+        assert!(r.render().contains("\"tie_stability\""));
+        assert!(r.render().contains("\"check.oracles.pass\":15"));
+        assert!(r.render().ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_is_the_clean_result() {
+        let report = CheckReport::new(Vec::new(), Counters::default());
+        let parsed = json::parse(&report.render()).unwrap();
+        assert_eq!(
+            parsed.get("violations_total").and_then(|c| c.as_u64()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn write_creates_parents() {
+        let dir = std::env::temp_dir().join(format!("cedar-check-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested").join("CHECK_violations.json");
+        sample().write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("cedar-check/1"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

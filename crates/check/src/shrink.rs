@@ -1,0 +1,208 @@
+//! Delta-debugging minimization of a violating case.
+//!
+//! Given a case that violates some oracle, [`shrink`] greedily walks
+//! the case tuple toward the simplest point that *still* violates the
+//! same oracle: a simpler application (by iteration count), a smaller
+//! machine, a lower fault level, a smaller workload, a zero
+//! perturbation seed. Each candidate is re-evaluated with the full
+//! harness; the walk repeats until a whole pass makes no progress or
+//! the evaluation budget runs out. Everything is deterministic, so the
+//! minimal reproducer — emitted as a replay token — reproduces the
+//! violation on any machine.
+
+use cedar_hw::Configuration;
+
+use crate::case::CheckCase;
+use crate::harness::Harness;
+use crate::oracle::OracleKind;
+
+/// The shrink ladder for workload scale: larger divisor = smaller run.
+const SHRINK_LADDER: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Result of a shrink session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkOutcome {
+    /// The smallest case found that still violates the oracle.
+    pub minimal: CheckCase,
+    /// Harness evaluations spent (each evaluation re-runs every
+    /// oracle-relevant simulation for one candidate).
+    pub evals: u32,
+    /// Whether the *original* case reproduced its violation when
+    /// re-evaluated (false means the report should flag flakiness —
+    /// which determinism makes impossible short of a harness bug).
+    pub reproduced: bool,
+}
+
+/// Applications ordered simplest-first (by total iteration count at
+/// the case's scale) — the order the shrinker tries substitutions in.
+fn apps_by_simplicity(shrink: u32) -> Vec<&'static str> {
+    let mut apps: Vec<_> = cedar_apps::perfect_suite()
+        .into_iter()
+        .map(|a| (a.shrunk(shrink).total_bodies(), a.name))
+        .collect();
+    apps.sort();
+    apps.into_iter().map(|(_, name)| name).collect()
+}
+
+/// The machine one step smaller than `c`, if any.
+fn smaller(c: Configuration) -> Option<Configuration> {
+    let all = Configuration::ALL;
+    let idx = all.iter().position(|&x| x == c)?;
+    idx.checked_sub(1).map(|i| all[i])
+}
+
+/// Minimizes `case` with respect to `oracle` under `harness`,
+/// spending at most `harness.config.max_shrink_evals` evaluations.
+pub fn shrink(case: &CheckCase, oracle: OracleKind, harness: &mut Harness) -> ShrinkOutcome {
+    let budget = harness.config.max_shrink_evals;
+    let mut evals = 0u32;
+    let violates = |h: &mut Harness, candidate: &CheckCase, evals: &mut u32| -> bool {
+        if *evals >= budget {
+            return false; // out of budget: treat as non-reproducing
+        }
+        *evals += 1;
+        h.counters.add("check.shrink.evals", 1);
+        !h.check_oracle(candidate, oracle).is_empty()
+    };
+
+    let reproduced = violates(harness, case, &mut evals);
+    if !reproduced {
+        return ShrinkOutcome {
+            minimal: *case,
+            evals,
+            reproduced: false,
+        };
+    }
+
+    let mut current = *case;
+    loop {
+        let mut progressed = false;
+
+        // Simpler application (strictly simpler than the current one).
+        let order = apps_by_simplicity(current.shrink);
+        let pos = order.iter().position(|&a| a == current.app).unwrap_or(0);
+        for &app in &order[..pos] {
+            let candidate = CheckCase { app, ..current };
+            if violates(harness, &candidate, &mut evals) {
+                current = candidate;
+                progressed = true;
+                break;
+            }
+        }
+
+        // Smaller machine, one ladder step at a time.
+        while let Some(c) = smaller(current.configuration) {
+            let candidate = CheckCase {
+                configuration: c,
+                ..current
+            };
+            if !violates(harness, &candidate, &mut evals) {
+                break;
+            }
+            current = candidate;
+            progressed = true;
+        }
+
+        // Lower fault intensity.
+        while current.fault_level > 0 {
+            let candidate = CheckCase {
+                fault_level: current.fault_level - 1,
+                ..current
+            };
+            if !violates(harness, &candidate, &mut evals) {
+                break;
+            }
+            current = candidate;
+            progressed = true;
+        }
+
+        // Smaller workload, up the shrink ladder.
+        while let Some(&next) = SHRINK_LADDER.iter().find(|&&s| s > current.shrink) {
+            let candidate = CheckCase {
+                shrink: next,
+                ..current
+            };
+            if !violates(harness, &candidate, &mut evals) {
+                break;
+            }
+            current = candidate;
+            progressed = true;
+        }
+
+        // Canonical perturbation seed.
+        if current.shuffle_seed != 0 {
+            let candidate = CheckCase {
+                shuffle_seed: 0,
+                ..current
+            };
+            if violates(harness, &candidate, &mut evals) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        if !progressed || evals >= budget {
+            break;
+        }
+    }
+
+    ShrinkOutcome {
+        minimal: current,
+        evals,
+        reproduced: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::CheckConfig;
+
+    #[test]
+    fn apps_order_is_simplest_first() {
+        let order = apps_by_simplicity(16);
+        assert_eq!(order.len(), 5);
+        let bodies: Vec<u64> = order
+            .iter()
+            .map(|name| {
+                cedar_apps::app_by_name(name)
+                    .unwrap()
+                    .shrunk(16)
+                    .total_bodies()
+            })
+            .collect();
+        let mut sorted = bodies.clone();
+        sorted.sort();
+        assert_eq!(bodies, sorted);
+    }
+
+    #[test]
+    fn configuration_ladder_descends_to_p1() {
+        let mut c = Configuration::P32;
+        let mut seen = vec![c];
+        while let Some(next) = smaller(c) {
+            seen.push(next);
+            c = next;
+        }
+        assert_eq!(c, Configuration::P1);
+        assert_eq!(seen.len(), Configuration::ALL.len());
+    }
+
+    #[test]
+    fn non_reproducing_case_returns_unshrunk() {
+        // A clean case violates nothing, so the shrinker reports
+        // reproduced = false after exactly one evaluation.
+        let mut h = Harness::new(CheckConfig::default());
+        let case = CheckCase {
+            app: "FLO52",
+            configuration: Configuration::P1,
+            fault_level: 0,
+            shrink: 64,
+            shuffle_seed: 3,
+        };
+        let out = shrink(&case, OracleKind::Conservation, &mut h);
+        assert!(!out.reproduced);
+        assert_eq!(out.evals, 1);
+        assert_eq!(out.minimal, case);
+    }
+}

@@ -4,7 +4,7 @@ use cedar_faults::FaultPlan;
 use cedar_hw::{Configuration, HwConfig};
 use cedar_obs::CedarError;
 use cedar_rtl::RtlConfig;
-use cedar_sim::SchedKind;
+use cedar_sim::{SchedKind, TieBreak};
 use cedar_xylem::{BackgroundLoad, OsConfig};
 
 /// Everything needed to instantiate one simulated Cedar machine.
@@ -31,6 +31,10 @@ pub struct SimConfig {
     /// Both kinds produce bit-identical runs; see
     /// [`cedar_sim::EventQueue`].
     pub sched: SchedKind,
+    /// Simultaneous-event ordering policy. Measurements must not
+    /// depend on it — `cedar-check` perturbs it to prove that; the
+    /// FIFO default is the documented scheduling order.
+    pub tiebreak: TieBreak,
     /// Competing multiprogrammed load (None = the paper's dedicated,
     /// single-user setting).
     pub background: Option<BackgroundLoad>,
@@ -50,6 +54,7 @@ impl SimConfig {
             keep_trace: false,
             max_events: 4_000_000_000,
             sched: SchedKind::default(),
+            tiebreak: TieBreak::default(),
             background: None,
             faults: FaultPlan::default(),
         }
@@ -128,6 +133,23 @@ impl SimConfig {
     /// ```
     pub fn with_scheduler(mut self, sched: SchedKind) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Selects the simultaneous-event ordering policy (builder style).
+    /// Like the scheduler, the tie-break never changes measurements —
+    /// a claim `cedar-check` verifies by perturbing it.
+    ///
+    /// ```
+    /// use cedar_core::SimConfig;
+    /// use cedar_hw::Configuration;
+    /// use cedar_sim::TieBreak;
+    ///
+    /// let c = SimConfig::cedar(Configuration::P8).with_tiebreak(TieBreak::Lifo);
+    /// assert_eq!(c.tiebreak, TieBreak::Lifo);
+    /// ```
+    pub fn with_tiebreak(mut self, tiebreak: TieBreak) -> Self {
+        self.tiebreak = tiebreak;
         self
     }
 

@@ -125,6 +125,7 @@ fn grid(apps: &[AppSpec], configurations: &[Configuration]) -> Vec<(AppSpec, Con
 fn cell_config(c: Configuration, opts: &RunOptions) -> SimConfig {
     SimConfig::cedar(c)
         .with_scheduler(opts.scheduler)
+        .with_tiebreak(opts.tiebreak)
         .with_faults(opts.faults)
 }
 

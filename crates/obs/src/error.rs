@@ -39,6 +39,17 @@ pub enum CedarError {
     /// The reproduction itself failed an invariant (a panicking
     /// experiment, an I/O failure rendering a report). Maps to HTTP 500.
     Internal(String),
+    /// A `cedar-check` invariant oracle found a measurement that breaks
+    /// one of the reproduction's claimed laws (conservation, scheduler
+    /// parity, fault-attribution monotonicity, …). Carries the oracle
+    /// name so tooling can route the violation without parsing the
+    /// message. Maps to HTTP 500.
+    CheckViolation {
+        /// The violated oracle's registry name (e.g. `"conservation"`).
+        oracle: String,
+        /// Human-readable description of what broke.
+        detail: String,
+    },
 }
 
 impl CedarError {
@@ -52,6 +63,7 @@ impl CedarError {
             CedarError::SpecParse(_) => "spec_parse",
             CedarError::Overloaded { .. } => "overloaded",
             CedarError::Internal(_) => "internal",
+            CedarError::CheckViolation { .. } => "check_violation",
         }
     }
 
@@ -60,7 +72,9 @@ impl CedarError {
         match self {
             CedarError::ConfigInvalid(_) | CedarError::SpecParse(_) => 400,
             CedarError::Overloaded { .. } => 503,
-            CedarError::CacheIo(_) | CedarError::Internal(_) => 500,
+            CedarError::CacheIo(_)
+            | CedarError::Internal(_)
+            | CedarError::CheckViolation { .. } => 500,
         }
     }
 }
@@ -75,6 +89,9 @@ impl std::fmt::Display for CedarError {
                 write!(f, "service overloaded; retry after {retry_after_s}s")
             }
             CedarError::Internal(m) => write!(f, "internal error: {m}"),
+            CedarError::CheckViolation { oracle, detail } => {
+                write!(f, "check oracle `{oracle}` violated: {detail}")
+            }
         }
     }
 }
@@ -93,6 +110,10 @@ mod tests {
             CedarError::SpecParse("x".into()),
             CedarError::Overloaded { retry_after_s: 1 },
             CedarError::Internal("x".into()),
+            CedarError::CheckViolation {
+                oracle: "conservation".into(),
+                detail: "x".into(),
+            },
         ];
         let kinds: Vec<_> = all.iter().map(|e| e.kind()).collect();
         assert_eq!(
@@ -102,11 +123,12 @@ mod tests {
                 "cache_io",
                 "spec_parse",
                 "overloaded",
-                "internal"
+                "internal",
+                "check_violation"
             ]
         );
         let statuses: Vec<_> = all.iter().map(|e| e.http_status()).collect();
-        assert_eq!(statuses, vec![400, 500, 400, 503, 500]);
+        assert_eq!(statuses, vec![400, 500, 400, 503, 500, 500]);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::path::PathBuf;
 
 use cedar_faults::FaultPlan;
-use cedar_sim::SchedKind;
+use cedar_sim::{SchedKind, TieBreak};
 
 /// How much self-telemetry a run emits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,6 +141,11 @@ impl std::str::FromStr for CacheMode {
 pub struct RunOptions {
     /// Pending-event-set implementation for every experiment.
     pub scheduler: SchedKind,
+    /// Simultaneous-event ordering policy for every experiment.
+    /// Measurements must not depend on it (a claim `cedar-check`
+    /// verifies by perturbation); like the fault plan it is typed only
+    /// — no environment variable sets it.
+    pub tiebreak: TieBreak,
     /// Worker-pool width for suite grids (`None` = available
     /// parallelism).
     pub workers: Option<usize>,
@@ -177,6 +182,7 @@ impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             scheduler: SchedKind::default(),
+            tiebreak: TieBreak::default(),
             workers: None,
             shrink: 1,
             smoke: false,
@@ -218,6 +224,7 @@ impl RunOptions {
             scheduler: var("CEDAR_SCHED")
                 .map(|v| v.parse().unwrap_or_else(|e| panic!("CEDAR_SCHED: {e}")))
                 .unwrap_or_default(),
+            tiebreak: TieBreak::default(),
             workers: var("CEDAR_WORKERS")
                 .and_then(|v| v.parse().ok())
                 .filter(|&n: &usize| n >= 1),
@@ -242,6 +249,13 @@ impl RunOptions {
     /// Overrides the event scheduler (builder style).
     pub fn with_scheduler(mut self, kind: SchedKind) -> Self {
         self.scheduler = kind;
+        self
+    }
+
+    /// Overrides the simultaneous-event ordering policy (builder
+    /// style). `TieBreak::Fifo` restores the default order.
+    pub fn with_tiebreak(mut self, tiebreak: TieBreak) -> Self {
+        self.tiebreak = tiebreak;
         self
     }
 
@@ -308,8 +322,9 @@ impl RunOptions {
     /// measurements, and their manifests carry the same fingerprint.
     pub fn fingerprint_seed(&self) -> String {
         format!(
-            "sched={};shrink={};smoke={};faults={}",
+            "sched={};tie={};shrink={};smoke={};faults={}",
             self.scheduler.as_str(),
+            self.tiebreak,
             self.shrink,
             self.smoke,
             self.faults.fingerprint()
@@ -385,6 +400,18 @@ mod tests {
         assert_eq!(a.fingerprint_seed(), b.fingerprint_seed());
         let c = RunOptions::default().with_scheduler(SchedKind::Heap);
         assert_ne!(a.fingerprint_seed(), c.fingerprint_seed());
+    }
+
+    #[test]
+    fn tiebreak_is_typed_only_and_fingerprinted() {
+        let a = RunOptions::default();
+        assert_eq!(a.tiebreak, TieBreak::Fifo);
+        // Like the scheduler, the policy names *how the run was
+        // produced*, so it participates in the manifest fingerprint
+        // even though measurements are invariant to it.
+        let b = RunOptions::default().with_tiebreak(TieBreak::Shuffle(7));
+        assert_ne!(a.fingerprint_seed(), b.fingerprint_seed());
+        assert!(b.fingerprint_seed().contains("tie=shuffle:0x7"));
     }
 
     #[test]

@@ -14,6 +14,12 @@ use cedar_obs::CedarError;
 /// spec is a few hundred bytes; a megabyte is already hostile).
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
+/// The request line plus every header must fit in this many bytes. A
+/// real campaign request's head is well under a kilobyte; an unbounded
+/// header line is a memory-exhaustion probe, so the head is read
+/// through a hard `Take` limit and overflow is a typed `400`.
+pub const MAX_HEAD_BYTES: u64 = 8 * 1024;
+
 /// One parsed request: method, path, and the (possibly empty) body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -30,11 +36,11 @@ pub struct Request {
 /// with a typed body instead of dropping the connection.
 pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
     let bad = |msg: &str| CedarError::SpecParse(format!("http: {msg}"));
-    let mut reader = BufReader::new(stream);
+    // The head is read through a `Take` so a runaway header line can
+    // buffer at most `MAX_HEAD_BYTES` before turning into a typed 400.
+    let mut head = BufReader::new(stream).take(MAX_HEAD_BYTES);
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
-        .map_err(|e| bad(&format!("request line: {e}")))?;
+    head_line(&mut head, &mut line, "request line")?;
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or_else(|| bad("empty request line"))?;
     let path = parts
@@ -47,12 +53,10 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
         return Err(bad(&format!("unsupported version `{version}`")));
     }
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
-        reader
-            .read_line(&mut header)
-            .map_err(|e| bad(&format!("header: {e}")))?;
+        head_line(&mut head, &mut header, "header")?;
         let header = header.trim_end();
         if header.is_empty() {
             break;
@@ -61,12 +65,20 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
             return Err(bad(&format!("malformed header `{header}`")));
         };
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = value
+            let parsed = value
                 .trim()
                 .parse()
                 .map_err(|_| bad("unparseable Content-Length"))?;
+            // Repeating the same value is harmless; *conflicting*
+            // duplicates are the request-smuggling shape, so reject
+            // rather than silently letting the last one win.
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(bad("conflicting duplicate Content-Length headers"));
+            }
+            content_length = Some(parsed);
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY_BYTES {
         return Err(bad(&format!(
             "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
@@ -74,7 +86,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
     }
 
     let mut body = vec![0u8; content_length];
-    reader
+    head.into_inner()
         .read_exact(&mut body)
         .map_err(|e| bad(&format!("body: {e}")))?;
     Ok(Request {
@@ -82,6 +94,24 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
         path: path.to_string(),
         body,
     })
+}
+
+/// Reads one head line into `line`, mapping an exhausted head limit to
+/// the typed oversized-head error (a line cut off with limit left is
+/// plain EOF and falls through to the caller's own handling).
+fn head_line<R: BufRead>(
+    head: &mut std::io::Take<R>,
+    line: &mut String,
+    what: &str,
+) -> Result<(), CedarError> {
+    head.read_line(line)
+        .map_err(|e| CedarError::SpecParse(format!("http: {what}: {e}")))?;
+    if !line.ends_with('\n') && head.limit() == 0 {
+        return Err(CedarError::SpecParse(format!(
+            "http: request head exceeds the {MAX_HEAD_BYTES}-byte limit"
+        )));
+    }
+    Ok(())
 }
 
 /// The reason phrase for the statuses the service emits.
@@ -165,6 +195,31 @@ mod tests {
             let err = read_request(&mut &raw[..]).unwrap_err();
             assert_eq!(err.kind(), "spec_parse", "{raw:?}");
         }
+    }
+
+    #[test]
+    fn oversized_heads_are_rejected_at_the_take_limit() {
+        // A single header line longer than the whole head budget: the
+        // parser must fail with the typed limit error, not buffer it.
+        let raw = format!(
+            "POST /run HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES as usize)
+        );
+        let err = read_request(&mut raw.as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), "spec_parse");
+        assert!(err.to_string().contains("request head exceeds"), "{err}");
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_lengths_are_rejected() {
+        let raw = b"POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        let err = read_request(&mut &raw[..]).unwrap_err();
+        assert!(err.to_string().contains("conflicting"), "{err}");
+
+        // Repeating the *same* value is harmless and honoured once.
+        let raw = b"POST /run HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut &raw[..]).unwrap();
+        assert_eq!(req.body, b"abcd");
     }
 
     #[test]

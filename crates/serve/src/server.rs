@@ -13,6 +13,7 @@
 //! so an accepted request is never dropped mid-run.
 
 use std::collections::VecDeque;
+use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -221,6 +222,28 @@ fn handle_connection(stream: &mut TcpStream, shared: &Shared) {
         .write_latency()
         .observe_us(write_start.elapsed().as_micros() as u64);
     shared.metrics.count_status(status);
+    if status != 200 {
+        lingering_close(stream);
+    }
+}
+
+/// Bounded lingering close for rejected requests. An error reply is
+/// written before the request was fully consumed (oversized head,
+/// truncated body); closing with unread bytes in the socket makes the
+/// kernel send `RST`, which can clobber the typed error body before
+/// the client reads it. Half-close the write side, then discard up to
+/// 64 KiB of late input under a short timeout so the reply is reliably
+/// delivered, and only then drop the connection.
+fn lingering_close(stream: &mut TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
 }
 
 /// Dispatches one parsed request to its endpoint.

@@ -15,15 +15,18 @@
 //! loop.
 //!
 //! Ordering is identical to [`HeapSchedule`](crate::queue::HeapSchedule):
-//! ascending fire time, ties broken by scheduling sequence. Buckets keep
-//! their undrained tail in ascending `(time, seq)` order and advance a
-//! drain cursor per pop; appends almost always arrive in ascending order
-//! already (one-day buckets hold simultaneous events, whose tie-break
-//! sequences are issued ascending), so the common case is a plain
-//! `Vec::push` with no sorting or shifting at all. The rare
-//! order-breaking insert (an earlier-day stray clamped into the cursor's
-//! bucket, or an overflow migration landing behind a direct insert)
-//! flips a dirty bit and the tail is re-sorted once on the next pop.
+//! ascending fire time, ties broken by the
+//! [`TieBreak`](crate::queue::TieBreak) rank of the scheduling sequence
+//! (the sequence itself under the default FIFO policy). Buckets keep
+//! their undrained tail in ascending `(time, rank)` order and advance a
+//! drain cursor per pop; under FIFO appends almost always arrive in
+//! ascending order already (one-day buckets hold simultaneous events,
+//! whose tie-break sequences are issued ascending), so the common case
+//! is a plain `Vec::push` with no sorting or shifting at all. An
+//! order-breaking insert (an earlier-day stray clamped into the
+//! cursor's bucket, an overflow migration landing behind a direct
+//! insert, or a non-monotone LIFO/shuffle rank) flips a dirty bit and
+//! the tail is re-sorted once on the next pop.
 //! Cross-bucket order holds because a bucket only ever drains events of
 //! a single pending day.
 //!
@@ -38,7 +41,7 @@
 //! behind as a generation-stale tombstone, swept when it surfaces.
 
 use crate::arena::{EventArena, EventHandle};
-use crate::queue::{key_time, order_key, Entry, EventSchedule, MinHeap, QueueStats};
+use crate::queue::{key_time, order_key, Entry, EventSchedule, MinHeap, QueueStats, TieBreak};
 use crate::time::SimTime;
 
 /// Default log2 of the day width: one-cycle days. A bucket then only
@@ -169,6 +172,7 @@ pub struct CalendarSchedule<E> {
     /// Pool for cancellable events only; plain traffic never touches it.
     arena: EventArena<E>,
     next_seq: u64,
+    tiebreak: TieBreak,
     stats: QueueStats,
     last_popped: SimTime,
 }
@@ -205,9 +209,19 @@ impl<E> CalendarSchedule<E> {
             overflow_live: 0,
             arena: EventArena::new(),
             next_seq: 0,
+            tiebreak: TieBreak::default(),
             stats: QueueStats::new(),
             last_popped: SimTime::ZERO,
         }
+    }
+
+    /// Selects the simultaneous-event ordering policy. Ranks are
+    /// assigned at schedule time, so this must be set before any event
+    /// is scheduled.
+    pub fn with_tiebreak(mut self, tiebreak: TieBreak) -> Self {
+        debug_assert_eq!(self.next_seq, 0, "tie-break set after scheduling");
+        self.tiebreak = tiebreak;
+        self
     }
 
     /// Number of days on the wheel.
@@ -267,19 +281,19 @@ impl<E> CalendarSchedule<E> {
 
 impl<E> EventSchedule<E> for CalendarSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
-        let seq = self.next_seq;
+        let rank = self.tiebreak.rank(self.next_seq);
         self.next_seq += 1;
         let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         let day = self.day_of(at);
         if !self.fits_wheel(day) {
             self.overflow
-                .push(order_key(at, seq), Entry::Inline(payload));
+                .push(order_key(at, rank), Entry::Inline(payload));
             self.overflow_live += 1;
             self.stats.overflow_spills += 1;
         } else {
             let day = day.max(self.cur_day);
             let idx = (day & self.day_mask) as usize;
-            self.buckets[idx].push(at, seq, Entry::Inline(payload));
+            self.buckets[idx].push(at, rank, Entry::Inline(payload));
             self.wheel_live += 1;
             self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_live as u64);
         }
@@ -288,7 +302,7 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
     }
 
     fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
-        let seq = self.next_seq;
+        let rank = self.tiebreak.rank(self.next_seq);
         self.next_seq += 1;
         let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         let day = self.day_of(at);
@@ -296,14 +310,14 @@ impl<E> EventSchedule<E> for CalendarSchedule<E> {
         if !self.fits_wheel(day) {
             handle = self.arena.alloc(payload, bucket, false);
             self.overflow
-                .push(order_key(at, seq), Entry::Pooled(handle));
+                .push(order_key(at, rank), Entry::Pooled(handle));
             self.overflow_live += 1;
             self.stats.overflow_spills += 1;
         } else {
             let day = day.max(self.cur_day);
             let idx = (day & self.day_mask) as usize;
             handle = self.arena.alloc(payload, bucket, true);
-            self.buckets[idx].push(at, seq, Entry::Pooled(handle));
+            self.buckets[idx].push(at, rank, Entry::Pooled(handle));
             self.wheel_live += 1;
             self.stats.wheel_peak = self.stats.wheel_peak.max(self.wheel_live as u64);
         }
@@ -509,6 +523,107 @@ mod tests {
         assert_eq!(q.pop(), Some((Cycles::MAX, 0)));
         assert_eq!(q.pop(), Some((Cycles::MAX, 3)));
         assert_eq!(q.pop(), None);
+    }
+
+    /// Regression (PR 9): same-timestamp events straddling the
+    /// wheel/overflow boundary must pop in one global tie order, under
+    /// every tie-break policy, identically on both backends. The
+    /// dangerous shape: part of a tie cohort lands on the wheel
+    /// directly while the rest spills to the overflow heap and only
+    /// migrates in later — the migrated entries' ranks (LIFO/shuffle
+    /// ranks are non-monotone in insertion order) must still interleave
+    /// exactly with the direct inserts.
+    #[test]
+    fn tie_cohorts_split_across_wheel_and_overflow_pop_identically() {
+        for tiebreak in [
+            TieBreak::Fifo,
+            TieBreak::Lifo,
+            TieBreak::Shuffle(0x5EED),
+            TieBreak::Shuffle(u64::MAX),
+        ] {
+            let mut heap = HeapSchedule::new().with_tiebreak(tiebreak);
+            // Tiny wheel: 4 days × 4 cycles = 16-cycle horizon.
+            let mut cal = CalendarSchedule::with_geometry(4, 4).with_tiebreak(tiebreak);
+            // t=15 is the last on-wheel day; t=16/t=100 overflow. The
+            // t=16 cohort is split: scheduled before and after a pop
+            // advances the cursor (so some entries migrate, some insert
+            // directly once the horizon has moved).
+            for (t, p) in [(15u64, 0u64), (16, 1), (16, 2), (100, 3), (15, 4)] {
+                heap.schedule(Cycles(t), p);
+                cal.schedule(Cycles(t), p);
+            }
+            assert!(cal.overflow_len() > 0, "cohort must straddle the boundary");
+            assert_eq!(heap.pop(), cal.pop(), "{tiebreak}: first pop");
+            // Cursor has advanced; the rest of the t=16 cohort now fits
+            // the wheel and lands next to its migrated siblings.
+            for p in 5..9u64 {
+                heap.schedule(Cycles(16), p);
+                cal.schedule(Cycles(16), p);
+            }
+            assert_equivalent_drain(&mut heap, &mut cal, &format!("{tiebreak} boundary"));
+        }
+    }
+
+    /// Regression (PR 9): tie cohorts at `SimTime::MAX` — where the
+    /// day index saturates and (under LIFO) ranks reach `u64::MAX`, so
+    /// packed order keys hit `u128::MAX` — must pop in one global
+    /// order on both backends under every policy.
+    #[test]
+    fn tie_cohorts_at_simtime_max_pop_identically() {
+        for tiebreak in [
+            TieBreak::Fifo,
+            TieBreak::Lifo,
+            TieBreak::Shuffle(1),
+            TieBreak::Shuffle(u64::MAX),
+        ] {
+            let mut heap = HeapSchedule::new().with_tiebreak(tiebreak);
+            let mut cal = CalendarSchedule::new().with_tiebreak(tiebreak);
+            for (t, p) in [
+                (u64::MAX, 0u64),
+                (0, 1),
+                (u64::MAX, 2),
+                (u64::MAX - 1, 3),
+                (u64::MAX, 4),
+            ] {
+                heap.schedule(Cycles(t), p);
+                cal.schedule(Cycles(t), p);
+            }
+            assert_eq!(heap.peek_time(), cal.peek_time(), "{tiebreak}");
+            assert_equivalent_drain(&mut heap, &mut cal, &format!("{tiebreak} at MAX"));
+            // And a pure all-MAX cohort, scheduled after the cursor has
+            // already jumped to the end of time.
+            for p in 0..16u64 {
+                heap.schedule(Cycles(u64::MAX), p);
+                cal.schedule(Cycles(u64::MAX), p);
+            }
+            assert_equivalent_drain(&mut heap, &mut cal, &format!("{tiebreak} all-MAX"));
+        }
+    }
+
+    /// The random heap-equivalence property, re-run under the
+    /// non-default tie-break policies (the FIFO version is
+    /// [`property_pop_order_matches_heap_on_random_schedules`]).
+    #[test]
+    fn property_pop_order_matches_heap_under_all_tiebreaks() {
+        for tiebreak in [TieBreak::Lifo, TieBreak::Shuffle(0xC0DE)] {
+            for seed in 0..24u64 {
+                let mut rng = SplitMix64::new(0x71EB_0000 + seed);
+                let mut heap = HeapSchedule::new().with_tiebreak(tiebreak);
+                let mut cal = CalendarSchedule::with_geometry(4, 16).with_tiebreak(tiebreak);
+                let n = 1 + rng.next_below(300);
+                for i in 0..n {
+                    let t = match rng.next_below(10) {
+                        0..=5 => rng.next_below(1 << 10),  // on-wheel
+                        6 | 7 => rng.next_below(1 << 24),  // overflow
+                        8 => 7,                            // heavy tie
+                        _ => u64::MAX - rng.next_below(2), // extremes
+                    };
+                    heap.schedule(Cycles(t), i);
+                    cal.schedule(Cycles(t), i);
+                }
+                assert_equivalent_drain(&mut heap, &mut cal, &format!("{tiebreak} seed {seed}"));
+            }
+        }
     }
 
     #[test]

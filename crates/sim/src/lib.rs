@@ -18,7 +18,10 @@
 //!   simultaneous events fire in the order they were scheduled. Both
 //!   backing schedulers (selected by an explicit [`SchedKind`]) honour
 //!   the exact same order, so the selection affects wall-clock speed
-//!   only.
+//!   only. A [`TieBreak`] policy can reorder simultaneous events
+//!   (LIFO, seeded shuffle) — deterministically, and identically on
+//!   both backends — so the model checker can prove measurements don't
+//!   depend on tie order.
 //! * [`SplitMix64`] is a fixed-seed PRNG; no ambient entropy is consulted.
 //!
 //! This crate never reads environment variables — scheduler selection by
@@ -59,6 +62,8 @@ pub mod time;
 pub use arena::EventHandle;
 pub use calendar::CalendarSchedule;
 pub use outbox::{Outbox, OutboxStats};
-pub use queue::{EventQueue, EventSchedule, HeapSchedule, QueueStats, SchedKind, HOLD_BUCKETS};
+pub use queue::{
+    EventQueue, EventSchedule, HeapSchedule, QueueStats, SchedKind, TieBreak, HOLD_BUCKETS,
+};
 pub use rng::SplitMix64;
 pub use time::{Cycles, HpmTicks, SimTime, CYCLE_NS, HPM_TICKS_PER_CYCLE, HPM_TICK_NS};

@@ -52,6 +52,90 @@ pub(crate) fn key_time(key: u128) -> SimTime {
     crate::time::Cycles((key >> 64) as u64)
 }
 
+/// How simultaneous events — same fire time — are ordered relative to
+/// each other.
+///
+/// The policy is a *bijective rank transform* of the scheduling
+/// sequence, applied once at schedule time: FIFO keeps the sequence,
+/// LIFO reverses it (`!seq`), and a seeded shuffle maps it through the
+/// SplitMix64 finalizer (a permutation of `u64`, so two events never
+/// collide on a rank). Both schedule backends order ties by the rank,
+/// so heap and calendar agree on the pop order under every policy.
+///
+/// Anything the simulation *measures* must not depend on this choice;
+/// `cedar-check` perturbs it adversarially to prove that. The default
+/// is FIFO — the documented `(fire time, scheduling sequence)` order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Ties pop in scheduling order (the default, and the order the
+    /// rest of the documentation describes).
+    #[default]
+    Fifo,
+    /// Ties pop in reverse scheduling order.
+    Lifo,
+    /// Ties pop in a seeded pseudo-random order.
+    Shuffle(u64),
+}
+
+impl TieBreak {
+    /// The rank that stands in for sequence `seq` under this policy.
+    /// A bijection of `u64` for every policy, so ranks are unique.
+    #[inline]
+    pub(crate) fn rank(self, seq: u64) -> u64 {
+        match self {
+            TieBreak::Fifo => seq,
+            TieBreak::Lifo => !seq,
+            TieBreak::Shuffle(seed) => {
+                // SplitMix64 finalizer: xor-shifts and odd multiplies,
+                // each invertible, so the whole mix is a permutation.
+                let mut z = seq ^ seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TieBreak {
+    /// Canonical text form (`fifo` / `lifo` / `shuffle:0x<seed>`), the
+    /// inverse of the [`FromStr`](std::str::FromStr) parse.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TieBreak::Fifo => f.write_str("fifo"),
+            TieBreak::Lifo => f.write_str("lifo"),
+            TieBreak::Shuffle(seed) => write!(f, "shuffle:{seed:#x}"),
+        }
+    }
+}
+
+impl std::str::FromStr for TieBreak {
+    type Err = String;
+
+    /// Parses `"fifo"`, `"lifo"` or `"shuffle:<seed>"` (seed decimal or
+    /// `0x`-hex; empty selects the default).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" | "" => Ok(TieBreak::Fifo),
+            "lifo" => Ok(TieBreak::Lifo),
+            other => {
+                let seed = other
+                    .strip_prefix("shuffle:")
+                    .and_then(|raw| match raw.strip_prefix("0x") {
+                        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                        None => raw.parse().ok(),
+                    })
+                    .ok_or_else(|| {
+                        format!(
+                            "tie-break must be `fifo`, `lifo` or `shuffle:<seed>`, got `{other}`"
+                        )
+                    })?;
+                Ok(TieBreak::Shuffle(seed))
+            }
+        }
+    }
+}
+
 /// One pending-event entry: the payload itself for the plain-schedule
 /// fast path, or an arena handle for cancellable events. `Taken` marks
 /// a calendar-bucket slot whose payload has already been drained (the
@@ -291,6 +375,7 @@ pub struct HeapSchedule<E> {
     /// Live pending events (inline plus uncancelled pooled).
     live: usize,
     next_seq: u64,
+    tiebreak: TieBreak,
     stats: QueueStats,
     last_popped: SimTime,
 }
@@ -308,29 +393,39 @@ impl<E> HeapSchedule<E> {
             arena: EventArena::new(),
             live: 0,
             next_seq: 0,
+            tiebreak: TieBreak::default(),
             stats: QueueStats::new(),
             last_popped: SimTime::ZERO,
         }
+    }
+
+    /// Selects the simultaneous-event ordering policy. Ranks are
+    /// assigned at schedule time, so this must be set before any event
+    /// is scheduled.
+    pub fn with_tiebreak(mut self, tiebreak: TieBreak) -> Self {
+        debug_assert_eq!(self.next_seq, 0, "tie-break set after scheduling");
+        self.tiebreak = tiebreak;
+        self
     }
 }
 
 impl<E> EventSchedule<E> for HeapSchedule<E> {
     fn schedule(&mut self, at: SimTime, payload: E) {
-        let seq = self.next_seq;
+        let rank = self.tiebreak.rank(self.next_seq);
         self.next_seq += 1;
         let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         self.live += 1;
-        self.heap.push(order_key(at, seq), Entry::Inline(payload));
+        self.heap.push(order_key(at, rank), Entry::Inline(payload));
         self.stats.on_schedule(bucket, self.live);
     }
 
     fn schedule_cancellable(&mut self, at: SimTime, payload: E) -> EventHandle {
-        let seq = self.next_seq;
+        let rank = self.tiebreak.rank(self.next_seq);
         self.next_seq += 1;
         let bucket = QueueStats::bucket_of(at.0.saturating_sub(self.last_popped.0));
         let handle = self.arena.alloc(payload, bucket, false);
         self.live += 1;
-        self.heap.push(order_key(at, seq), Entry::Pooled(handle));
+        self.heap.push(order_key(at, rank), Entry::Pooled(handle));
         self.stats.on_schedule(bucket, self.live);
         handle
     }
@@ -523,6 +618,16 @@ impl<E> EventQueue<E> {
         match self.0 {
             QueueImpl::Heap(_) => SchedKind::Heap,
             QueueImpl::Calendar(_) => SchedKind::Calendar,
+        }
+    }
+
+    /// Selects the simultaneous-event ordering policy (see
+    /// [`TieBreak`]). Must be called before any event is scheduled;
+    /// both backends honour the policy identically.
+    pub fn with_tiebreak(self, tiebreak: TieBreak) -> Self {
+        match self.0 {
+            QueueImpl::Heap(q) => EventQueue(QueueImpl::Heap(q.with_tiebreak(tiebreak))),
+            QueueImpl::Calendar(q) => EventQueue(QueueImpl::Calendar(q.with_tiebreak(tiebreak))),
         }
     }
 
@@ -845,6 +950,113 @@ mod tests {
             let want: Vec<i64> = (0..50).filter(|i| i % 2 == 0).collect();
             assert_eq!(popped, want);
         });
+    }
+
+    /// Every behavioural test that also varies the tie-break policy.
+    fn both_with(tiebreak: TieBreak, f: impl Fn(EventQueue<i64>)) {
+        f(EventQueue::heap().with_tiebreak(tiebreak));
+        f(EventQueue::calendar().with_tiebreak(tiebreak));
+    }
+
+    #[test]
+    fn lifo_ties_pop_in_reverse_insertion_order() {
+        both_with(TieBreak::Lifo, |mut q| {
+            for i in 0..100 {
+                q.schedule(Cycles(7), i);
+            }
+            for i in (0..100).rev() {
+                assert_eq!(q.pop(), Some((Cycles(7), i)));
+            }
+            assert_eq!(q.pop(), None);
+        });
+    }
+
+    #[test]
+    fn shuffle_ties_are_a_seeded_permutation() {
+        // The shuffle is deterministic per seed, identical across
+        // backends, a true permutation (nothing lost, nothing doubled),
+        // and different seeds give different orders.
+        let order_of = |q: &mut EventQueue<i64>| -> Vec<i64> {
+            for i in 0..64 {
+                q.schedule(Cycles(3), i);
+            }
+            std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect()
+        };
+        let mut heap = EventQueue::heap().with_tiebreak(TieBreak::Shuffle(42));
+        let mut cal = EventQueue::calendar().with_tiebreak(TieBreak::Shuffle(42));
+        let a = order_of(&mut heap);
+        let b = order_of(&mut cal);
+        assert_eq!(a, b, "backends must agree on the shuffled order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>(), "a permutation");
+        assert_ne!(a, (0..64).collect::<Vec<_>>(), "not FIFO");
+        let mut other = EventQueue::heap().with_tiebreak(TieBreak::Shuffle(43));
+        assert_ne!(order_of(&mut other), a, "seed changes the order");
+    }
+
+    #[test]
+    fn tiebreak_never_reorders_across_distinct_times() {
+        for tiebreak in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Shuffle(9)] {
+            both_with(tiebreak, |mut q| {
+                q.schedule(Cycles(30), 3);
+                q.schedule(Cycles(10), 1);
+                q.schedule(Cycles(20), 2);
+                assert_eq!(q.pop(), Some((Cycles(10), 1)));
+                assert_eq!(q.pop(), Some((Cycles(20), 2)));
+                assert_eq!(q.pop(), Some((Cycles(30), 3)));
+            });
+        }
+    }
+
+    #[test]
+    fn tiebreak_cancellation_still_works() {
+        for tiebreak in [TieBreak::Lifo, TieBreak::Shuffle(5)] {
+            both_with(tiebreak, |mut q| {
+                let doomed = q.schedule_cancellable(Cycles(4), 0);
+                q.schedule(Cycles(4), 1);
+                let kept = q.schedule_cancellable(Cycles(4), 2);
+                assert!(q.cancel(doomed));
+                let mut popped: Vec<i64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+                popped.sort_unstable();
+                assert_eq!(popped, vec![1, 2]);
+                assert!(!q.cancel(kept), "fired handle is stale");
+            });
+        }
+    }
+
+    #[test]
+    fn tiebreak_parses_and_roundtrips() {
+        for tiebreak in [
+            TieBreak::Fifo,
+            TieBreak::Lifo,
+            TieBreak::Shuffle(0),
+            TieBreak::Shuffle(0xDEAD_BEEF),
+        ] {
+            assert_eq!(tiebreak.to_string().parse::<TieBreak>().unwrap(), tiebreak);
+        }
+        assert_eq!("".parse::<TieBreak>().unwrap(), TieBreak::Fifo);
+        assert_eq!(
+            "shuffle:12345".parse::<TieBreak>().unwrap(),
+            TieBreak::Shuffle(12345)
+        );
+        assert!("random".parse::<TieBreak>().is_err());
+        assert!("shuffle:zebra".parse::<TieBreak>().is_err());
+    }
+
+    #[test]
+    fn shuffle_ranks_are_unique() {
+        // The rank transform must be injective, or the calendar's
+        // bucket sort and the heap could disagree on equal ranks.
+        let mut seen = std::collections::HashSet::new();
+        for policy in [TieBreak::Fifo, TieBreak::Lifo, TieBreak::Shuffle(7)] {
+            seen.clear();
+            for seq in 0..10_000u64 {
+                assert!(seen.insert(policy.rank(seq)), "{policy} rank collision");
+            }
+            // The extremes map somewhere, uniquely.
+            assert!(seen.insert(policy.rank(u64::MAX)));
+        }
     }
 
     #[test]

@@ -13,14 +13,17 @@ cd "$(dirname "$0")/.."
 
 # Environment-read guard: library crates must take their configuration
 # through the typed cedar_obs::RunOptions surface, not ambient std::env
-# reads. Only three sanctioned readers exist — RunOptions::from_env
+# reads. Only four sanctioned readers exist — RunOptions::from_env
 # (crates/obs/src/options.rs), ServeOptions::from_env
-# (crates/serve/src/options.rs) and the golden-snapshot re-recorder
-# (UPDATE_GOLDEN, crates/report/src/golden.rs). Any other hit fails CI.
+# (crates/serve/src/options.rs), CheckOptions::from_env
+# (CEDAR_CHECK_REPLAY, crates/check/src/options.rs) and the
+# golden-snapshot re-recorder (UPDATE_GOLDEN, crates/report/src/golden.rs).
+# Any other hit fails CI.
 echo "==> env-read guard (std::env::var outside sanctioned modules)"
 leaks=$(grep -rn "std::env::var" crates/*/src \
     | grep -v "^crates/obs/src/options\.rs:" \
     | grep -v "^crates/serve/src/options\.rs:" \
+    | grep -v "^crates/check/src/options\.rs:" \
     | grep -v "^crates/report/src/golden\.rs:" \
     || true)
 if [ -n "$leaks" ]; then
@@ -188,5 +191,25 @@ test -s results/FAULTS_sensitivity.csv || {
     exit 1
 }
 echo "    wrote results/FAULTS_sensitivity.csv"
+
+# Invariant-oracle checker smoke: the four-case corpus under permuted
+# tie-breaking. Exit 0 is the gate (any violation is a real bug or a
+# real oracle miscalibration — both block); the violation report and
+# the checker's own run manifest must exist, and the manifest must
+# carry the oracle rollup so a green run is auditable.
+echo "==> check-harness smoke (BENCH_SMOKE=1: 4 cases, all oracles)"
+BENCH_SMOKE=1 BENCH_JSON_DIR="$scratch/check" ./target/release/check
+for f in "$scratch/check/CHECK_violations.json" "$scratch/check/RUN_manifest.json"; do
+    test -s "$f" || {
+        echo "error: check did not write $f" >&2
+        exit 1
+    }
+done
+if ! grep -q '"check.oracles.pass":' "$scratch/check/RUN_manifest.json"; then
+    echo "error: check manifest lacks the oracle rollup counters" >&2
+    exit 1
+fi
+cp "$scratch/check/CHECK_violations.json" results/CHECK_violations.json
+echo "    wrote results/CHECK_violations.json (0 violations)"
 
 echo "==> OK"

@@ -17,10 +17,13 @@
 //! [`cache`] (the content-addressed store of completed runs behind
 //! `CEDAR_CACHE`), all built on the [`sim`] discrete-event kernel.
 //! [`serve`] exposes campaigns as an HTTP service with backpressure and
-//! cache-backed replies.
+//! cache-backed replies, and [`check`] is the model-checker-style
+//! harness that re-executes campaigns under permuted event orders and
+//! asserts the reproduction's invariant-oracle registry.
 
 pub use cedar_apps as apps;
 pub use cedar_cache as cache;
+pub use cedar_check as check;
 pub use cedar_core as core;
 pub use cedar_faults as faults;
 pub use cedar_hw as hw;

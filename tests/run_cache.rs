@@ -371,6 +371,104 @@ fn keys_never_collide_across_the_sweep() {
     assert_eq!(keys.len(), total);
 }
 
+/// Seeded partial-write corruption property: a power failure or torn
+/// write can leave an entry damaged at *any* byte, so this sweep
+/// truncates and bit-flips at seeded offsets — biased into the two
+/// structurally delicate regions, the entry's header block (magic, key
+/// echo, length, checksum) and the payload's interned counter-name
+/// strings — and requires every single corruption to read as a silent
+/// miss (no panic, no wrong result) healed by one clean rewrite.
+#[test]
+fn seeded_partial_write_corruption_is_a_silent_miss_then_heals() {
+    let root = Root::new("partial");
+    let cache = RunCache::open(root.path().join("cache"), CacheMode::ReadWrite).unwrap();
+    let a = app(9);
+    let cfg = SimConfig::cedar(Configuration::P4);
+    let direct = cedar::core::Experiment::new(a.clone(), cfg.clone()).run();
+    let key = run_key(&a, &cfg);
+    cache.put(&key, &to_cached(&direct));
+    let path = cache.entry_path(&key);
+    let pristine = std::fs::read(&path).unwrap();
+    let text = String::from_utf8(pristine.clone()).unwrap();
+
+    // Byte ranges of the two targeted regions: the whole header block,
+    // and every `counter <interned-name>` text inside the payload.
+    let header_end = text.find("---\n").expect("entry has a header") + 4;
+    let mut counter_name_bytes = Vec::new();
+    let mut offset = 0;
+    for line in text.split_inclusive('\n') {
+        if let Some(rest) = line.strip_prefix("counter ") {
+            let name_len = rest.split(' ').next().unwrap_or("").len();
+            counter_name_bytes.extend(offset + 8..offset + 8 + name_len);
+        }
+        offset += line.len();
+    }
+    assert!(
+        !counter_name_bytes.is_empty(),
+        "entry should carry interned counter names"
+    );
+
+    let mut rng = SplitMix64::new(0xBAD_0FF5E7);
+    let mut hits_expected = 0;
+    for case in 0..48 {
+        // Pick a target byte: header region, interner region, or
+        // anywhere, each a third of the cases.
+        let target = match case % 3 {
+            0 => rng.next_below(header_end as u64) as usize,
+            1 => counter_name_bytes[rng.next_below(counter_name_bytes.len() as u64) as usize],
+            _ => rng.next_below(pristine.len() as u64) as usize,
+        };
+        let corrupted = if rng.next_below(2) == 0 {
+            // Truncate at the target: a torn write that stopped early.
+            pristine[..target].to_vec()
+        } else {
+            // Flip a nonzero mask of the target byte.
+            let mut b = pristine.clone();
+            b[target] ^= 1 + rng.next_below(255) as u8;
+            b
+        };
+        if corrupted == pristine {
+            continue; // truncation at len 0 target can no-op; skip
+        }
+        std::fs::write(&path, &corrupted).unwrap();
+
+        assert!(
+            cache.get(&key).is_none(),
+            "case {case}: corruption at byte {target} must be a miss, not served"
+        );
+        // Recovery: one rewrite restores a byte-equivalent entry
+        // (modulo wall-clock telemetry) that hits again.
+        cache.put(&key, &to_cached(&direct));
+        let healed = cache.get(&key).unwrap_or_else(|| {
+            panic!("case {case}: rewritten entry must hit");
+        });
+        hits_expected += 1;
+        assert_eq!(
+            healed.encode(),
+            to_cached(&direct).encode(),
+            "case {case}: healed entry altered a measurement"
+        );
+        assert_eq!(
+            masked_entry(&std::fs::read(&path).unwrap()),
+            masked_entry(&pristine),
+            "case {case}: healed entry does not match the original"
+        );
+    }
+    assert!(hits_expected >= 40, "sweep degenerated: {hits_expected}");
+
+    // The recovery path must not leak tmp files into the shard.
+    let shard = path.parent().unwrap().to_path_buf();
+    let leftovers: Vec<_> = std::fs::read_dir(&shard)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "tmp leftovers: {leftovers:?}");
+
+    let s = cache.stats();
+    assert_eq!(s.hits, hits_expected, "every healed entry served once");
+}
+
 /// A stale-by-construction entry (valid checksum, older format header)
 /// written through the public API then doctored must read as a miss —
 /// the exact upgrade path after a MODEL_VERSION bump.

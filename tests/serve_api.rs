@@ -204,6 +204,160 @@ fn overflow_is_shed_with_503_and_retry_after() {
 }
 
 #[test]
+fn byte_at_a_time_split_reads_still_parse() {
+    // TCP gives the server no framing guarantees: a request may arrive
+    // in arbitrarily small segments. Dribbling it one byte per write
+    // (flushed, with a few forced scheduling points) must parse and run
+    // exactly like a single-segment request.
+    let (server, addr) = start_server(4, 1);
+    let raw = format!(
+        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{SPEC}",
+        SPEC.len()
+    );
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream.set_nodelay(true).unwrap();
+    for (i, byte) in raw.as_bytes().iter().enumerate() {
+        stream.write_all(std::slice::from_ref(byte)).expect("send");
+        stream.flush().unwrap();
+        if i % 16 == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    let reply = json::parse(body).expect("reply parses");
+    assert!(reply.get("fingerprint").is_some());
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn hostile_headers_get_typed_400s_and_leave_the_server_healthy() {
+    let (server, addr) = start_server(4, 1);
+
+    // A header line longer than the whole head budget must be cut off
+    // at the parser's hard limit and answered with a typed 400 — not
+    // buffered without bound.
+    let huge = format!(
+        "POST /run HTTP/1.1\r\nHost: test\r\nX-Pad: {}\r\n\r\n",
+        "a".repeat(16 * 1024)
+    );
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // The server may answer (and close) before the full pad is written,
+    // so a late write failing with a broken pipe is acceptable.
+    let _ = stream.write_all(huge.as_bytes());
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+    assert!(response.contains("\"kind\":\"spec_parse\""), "{response}");
+    assert!(response.contains("request head exceeds"), "{response}");
+
+    // Conflicting duplicate Content-Length headers are the classic
+    // request-smuggling shape: rejected, never last-one-wins.
+    let (status, _, body) = {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                format!(
+                    "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\
+                     Content-Length: 2\r\n\r\n{SPEC}",
+                    SPEC.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, payload) = response.split_once("\r\n\r\n").expect("header block");
+        let status: u16 = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        (status, head.to_string(), payload.to_string())
+    };
+    assert_eq!(status, 400, "{body}");
+    assert!(
+        body.contains("conflicting duplicate Content-Length"),
+        "{body}"
+    );
+
+    // Neither probe may wedge the worker: a normal request still runs.
+    let (status, body) = post_run(&addr, SPEC);
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn pipelined_requests_get_exactly_one_reply_then_close() {
+    // The service is strictly Connection: close — a client pipelining a
+    // second request on the same socket gets one complete reply and a
+    // clean close, never a second (possibly interleaved) response.
+    let (server, addr) = start_server(4, 1);
+    let one = format!(
+        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{SPEC}",
+        SPEC.len()
+    );
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    stream
+        .write_all(format!("{one}{one}").as_bytes())
+        .expect("send both");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    assert_eq!(
+        response.matches("HTTP/1.1").count(),
+        1,
+        "pipelined request must not get a second response: {response}"
+    );
+    assert!(response.contains("Connection: close\r\n"), "{response}");
+    let body = response.split_once("\r\n\r\n").unwrap().1;
+    assert!(json::parse(body).is_ok(), "single reply is complete JSON");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mid_body_disconnect_is_a_typed_400_not_a_hang() {
+    let (server, addr) = start_server(4, 1);
+    // Promise a 100-byte body, deliver 9, and half-close: the worker
+    // must diagnose the truncated body, answer a typed 400 on the
+    // still-open read half, and move on to the next connection.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(b"POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: 100\r\n\r\n{\"app\":\"")
+        .expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    assert!(response.starts_with("HTTP/1.1 400 "), "{response}");
+    assert!(response.contains("\"kind\":\"spec_parse\""), "{response}");
+    assert!(response.contains("body"), "{response}");
+
+    // The worker survived the disconnect.
+    let (status, body) = post_run(&addr, SPEC);
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn graceful_drain_completes_queued_runs() {
     let (server, addr) = start_server(16, 1);
     // Submit a real run, give the accept loop time to queue it, then
