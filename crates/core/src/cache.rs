@@ -16,7 +16,7 @@
 use std::path::PathBuf;
 
 use cedar_apps::AppSpec;
-use cedar_cache::{CacheStats, CachedRun, RunCache, RunKey};
+use cedar_cache::{CacheStats, CachedRun, Lookup, RunCache, RunKey};
 use cedar_obs::{CacheMode, CedarError, RunOptions};
 
 use crate::config::SimConfig;
@@ -76,10 +76,31 @@ fn default_cache_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cache")
 }
 
+/// How one experiment moved through cache policy — the per-call
+/// counterpart of the session-cumulative [`CacheStats`]. A campaign
+/// sharing a long-lived session (the serving path) folds these into
+/// its own local traffic tally, so concurrent campaigns on the same
+/// session never double-count each other's lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// No cache configured: plain execution.
+    Off,
+    /// Trace-keeping run: cache policy skipped.
+    Bypass,
+    /// Served from the in-memory hot tier.
+    HotHit,
+    /// Served from the disk store.
+    DiskHit,
+    /// Simulated; `wrote` says whether the result was stored.
+    Simulated { wrote: bool },
+}
+
 /// One campaign's cache handle: policy (from
 /// [`RunOptions::cache`]) plus the open store. Shareable by reference
 /// across the worker pool — all methods take `&self` and the store's
-/// counters are atomic.
+/// counters are atomic. A serving process keeps exactly one session
+/// for its whole lifetime ([`crate::SuiteResult::run_sequential_shared`])
+/// so the store — and its hot tier — is opened once, not per request.
 #[derive(Debug)]
 pub struct CacheSession {
     cache: Option<RunCache>,
@@ -90,7 +111,9 @@ impl CacheSession {
     /// and makes [`execute`](Self::execute) a plain passthrough; other
     /// modes open the store under `opts.output_dir`'s `cache/`
     /// subdirectory (or the workspace `results/cache/`), surfacing an
-    /// unusable cache root as [`CedarError::CacheIo`].
+    /// unusable cache root as [`CedarError::CacheIo`]. A nonzero
+    /// `opts.cache_hot` layers an in-memory hot tier of that many
+    /// decoded runs over the store.
     pub fn new(opts: &RunOptions) -> Result<CacheSession, CedarError> {
         let cache = match opts.cache {
             CacheMode::Off => None,
@@ -100,7 +123,7 @@ impl CacheSession {
                     .as_ref()
                     .map(|d| d.join("cache"))
                     .unwrap_or_else(default_cache_root);
-                Some(RunCache::open(root, mode)?)
+                Some(RunCache::open(root, mode)?.with_hot_capacity(opts.cache_hot))
             }
         };
         Ok(CacheSession { cache })
@@ -112,31 +135,99 @@ impl CacheSession {
     /// is a debugging artifact that is never serialized, and silently
     /// returning a traceless hit would break the caller.
     pub fn execute(&self, app: &AppSpec, cfg: SimConfig) -> RunResult {
+        self.execute_traced(app, cfg).0
+    }
+
+    /// [`execute`](Self::execute), also reporting how the experiment
+    /// moved through cache policy.
+    pub fn execute_traced(&self, app: &AppSpec, cfg: SimConfig) -> (RunResult, ExecOutcome) {
         let Some(cache) = &self.cache else {
-            return execute(app, cfg);
+            return (execute(app, cfg), ExecOutcome::Off);
         };
         if cfg.keep_trace {
             cache.note_bypass();
-            return execute(app, cfg);
+            return (execute(app, cfg), ExecOutcome::Bypass);
         }
         let key = run_key(app, &cfg);
         if cache.mode().reads() {
-            if let Some(hit) = cache.get(&key) {
-                return from_cached(hit);
+            match cache.get_traced(&key) {
+                (Some(hit), Lookup::HotHit) => return (from_cached(hit), ExecOutcome::HotHit),
+                (Some(hit), _) => return (from_cached(hit), ExecOutcome::DiskHit),
+                (None, _) => {}
             }
         } else {
             cache.note_refresh_miss();
         }
         let result = execute(app, cfg);
-        if cache.mode().writes() {
+        let wrote = cache.mode().writes();
+        if wrote {
             cache.put(&key, &to_cached(&result));
         }
-        result
+        (result, ExecOutcome::Simulated { wrote })
     }
 
-    /// The session's traffic counters, `None` when the cache is off.
+    /// The session's cumulative traffic counters, `None` when the
+    /// cache is off.
     pub fn stats(&self) -> Option<CacheStats> {
         self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Whether the session has an in-memory hot tier attached.
+    pub fn has_hot_tier(&self) -> bool {
+        self.cache.as_ref().is_some_and(|c| c.has_hot_tier())
+    }
+
+    /// The hot tier's `(entries, capacity)`, when one is attached.
+    pub fn hot_occupancy(&self) -> Option<(usize, usize)> {
+        self.cache.as_ref().and_then(|c| c.hot_occupancy())
+    }
+
+    /// The session's cache mode ([`CacheMode::Off`] when no cache is
+    /// configured).
+    pub fn mode(&self) -> CacheMode {
+        self.cache
+            .as_ref()
+            .map(|c| c.mode())
+            .unwrap_or(CacheMode::Off)
+    }
+
+    /// Folds per-experiment [`ExecOutcome`]s into one campaign-local
+    /// [`CacheStats`] — the sharing-safe alternative to diffing the
+    /// session's cumulative counters, which would tangle concurrent
+    /// campaigns on a shared session together. Hot-tier probes are only
+    /// counted when a tier is actually attached, and evictions are a
+    /// store-wide phenomenon with no per-campaign attribution, so they
+    /// stay 0 here.
+    pub fn fold_outcomes(&self, outcomes: &[ExecOutcome]) -> CacheStats {
+        // The hot tier is only probed by reading modes (`Refresh` goes
+        // straight to simulation), so only those count hot misses.
+        let has_hot = self.has_hot_tier() && self.mode().reads();
+        let mut s = CacheStats {
+            mode: self.mode(),
+            ..CacheStats::default()
+        };
+        for o in outcomes {
+            match o {
+                ExecOutcome::Off => {}
+                ExecOutcome::Bypass => s.bypasses += 1,
+                ExecOutcome::HotHit => {
+                    s.hits += 1;
+                    s.hot_hits += 1;
+                }
+                ExecOutcome::DiskHit => {
+                    s.hits += 1;
+                    s.hot_misses += u64::from(has_hot);
+                }
+                ExecOutcome::Simulated { wrote } => {
+                    s.misses += 1;
+                    s.hot_misses += u64::from(has_hot);
+                    if *wrote {
+                        s.writes += 1;
+                    }
+                }
+            }
+        }
+        s
     }
 }
 

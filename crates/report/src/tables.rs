@@ -257,8 +257,13 @@ pub fn fault_report(base: &cedar_core::RunResult, faulted: &cedar_core::RunResul
 /// One-line summary of a campaign's run-cache traffic, printed by the
 /// cache-aware binaries after their tables.
 pub fn cache_line(c: &cedar_core::CacheStats) -> String {
+    let hot = if c.hot_hits + c.hot_misses > 0 {
+        format!(", {} hot", c.hot_hits)
+    } else {
+        String::new()
+    };
     format!(
-        "run cache [{}]: {} hits, {} misses, {} writes, {} bypasses ({:.0}% hit rate)",
+        "run cache [{}]: {} hits{hot}, {} misses, {} writes, {} bypasses ({:.0}% hit rate)",
         c.mode.as_str(),
         c.hits,
         c.misses,
@@ -328,10 +333,23 @@ mod tests {
             misses: 1,
             writes: 1,
             bypasses: 0,
+            ..cedar_core::CacheStats::default()
         });
         assert!(s.contains("[rw]"));
         assert!(s.contains("24 hits"));
+        assert!(!s.contains("hot"), "no hot segment without a hot tier");
         assert!(s.contains("96% hit rate"));
+
+        let s = cache_line(&cedar_core::CacheStats {
+            mode: cedar_core::CacheMode::ReadWrite,
+            hits: 24,
+            misses: 1,
+            writes: 1,
+            hot_hits: 20,
+            hot_misses: 5,
+            ..cedar_core::CacheStats::default()
+        });
+        assert!(s.contains("24 hits, 20 hot"), "{s}");
     }
 
     #[test]

@@ -8,15 +8,28 @@
 //! and latency and writes a percentile summary to
 //! `results/SERVE_load.json`.
 //!
+//! Two connection disciplines:
+//!
+//! * **close** (default): one TCP connection per request, announced
+//!   with `Connection: close` — the cold-handshake worst case.
+//! * **keep-alive** (`--keepalive CONNS`): requests are dealt
+//!   round-robin across `CONNS` persistent HTTP/1.1 connections, each
+//!   request still launched at its open-loop due time. This is how a
+//!   real client consumes the warm path: the reply arrives on an
+//!   already-open connection, so the measured latency is the service
+//!   time, not the handshake. A connection the server closes (request
+//!   budget, drain) is transparently redialed.
+//!
 //! The target address comes from the typed environment surface
 //! (`CEDAR_SERVE_ADDR` via `ServeOptions::from_env`); the burst shape
 //! is CLI flags:
 //!
 //! ```sh
-//! loadgen [--requests N] [--rate PER_S] [--seed S] [--shrink K] [--out PATH]
+//! loadgen [--requests N] [--rate PER_S] [--seed S] [--shrink K]
+//!         [--keepalive CONNS] [--out PATH]
 //! ```
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -46,6 +59,7 @@ struct Args {
     rate: f64,
     seed: u64,
     shrink: u32,
+    keepalive: usize,
     out: PathBuf,
 }
 
@@ -55,6 +69,7 @@ fn parse_args() -> Args {
         rate: 20.0,
         seed: 0xCEDA,
         shrink: 32,
+        keepalive: 0,
         out: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/SERVE_load.json"),
     };
     let mut it = std::env::args().skip(1);
@@ -68,6 +83,7 @@ fn parse_args() -> Args {
             "--rate" => args.rate = value().parse().expect("--rate"),
             "--seed" => args.seed = value().parse().expect("--seed"),
             "--shrink" => args.shrink = value().parse().expect("--shrink"),
+            "--keepalive" => args.keepalive = value().parse().expect("--keepalive"),
             "--out" => args.out = PathBuf::from(value()),
             other => panic!("unknown flag `{other}` (see the module docs)"),
         }
@@ -87,8 +103,39 @@ fn spec_body(rng: &mut SplitMix64, shrink: u32) -> String {
     )
 }
 
-/// One blocking request; returns (status, latency). Status 0 = the
-/// connection itself failed.
+/// Reads one `Content-Length`-framed response off a persistent
+/// connection: `(status, server_wants_close)`. `None` = the connection
+/// died mid-response.
+fn read_response<R: BufRead>(reader: &mut R) -> Option<(u16, bool)> {
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    let status: u16 = line.split_whitespace().nth(1)?.parse().ok()?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).ok()?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok()?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).ok()?;
+    Some((status, close))
+}
+
+/// One connection-per-request exchange; returns (status, latency).
+/// Status 0 = the connection itself failed. Announces
+/// `Connection: close` so the keep-alive server hands the whole reply
+/// back and closes immediately instead of waiting out its idle budget.
 fn post_run(addr: &str, body: &str) -> (u16, Duration) {
     let start = Instant::now();
     let status = (|| {
@@ -96,7 +143,7 @@ fn post_run(addr: &str, body: &str) -> (u16, Duration) {
         stream
             .write_all(
                 format!(
-                    "POST /run HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+                    "POST /run HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 )
                 .as_bytes(),
@@ -113,6 +160,67 @@ fn post_run(addr: &str, body: &str) -> (u16, Duration) {
     (status, start.elapsed())
 }
 
+/// One persistent connection plus its buffered read half, redialed on
+/// demand when the server closes it (request budget, drain).
+struct KeepAliveConn {
+    addr: String,
+    stream: Option<(TcpStream, BufReader<TcpStream>)>,
+}
+
+impl KeepAliveConn {
+    fn new(addr: &str) -> KeepAliveConn {
+        KeepAliveConn {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    fn ensure(&mut self) -> Option<&mut (TcpStream, BufReader<TcpStream>)> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).ok()?;
+            let reader = BufReader::new(stream.try_clone().ok()?);
+            self.stream = Some((stream, reader));
+        }
+        self.stream.as_mut()
+    }
+
+    /// One exchange on the persistent connection. A dead connection is
+    /// redialed and the request retried once — the failure mode is the
+    /// server having closed between requests, which loses no state.
+    fn post_run(&mut self, body: &str) -> (u16, Duration) {
+        let start = Instant::now();
+        let request = format!(
+            "POST /run HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        for attempt in 0..2 {
+            let Some((stream, reader)) = self.ensure() else {
+                break;
+            };
+            let sent = stream.write_all(request.as_bytes()).is_ok();
+            match sent.then(|| read_response(reader)).flatten() {
+                Some((status, close)) => {
+                    if close {
+                        self.stream = None;
+                    }
+                    return (status, start.elapsed());
+                }
+                None => {
+                    // Stale connection: drop it; the next attempt dials
+                    // fresh. One retry only — a server that kills two
+                    // fresh connections in a row is genuinely failing.
+                    self.stream = None;
+                    if attempt == 1 {
+                        break;
+                    }
+                }
+            }
+        }
+        (0, start.elapsed())
+    }
+}
+
 /// Scrapes one counter from the server's `/metrics` exposition, so the
 /// report (and the CI gate reading it) can see cache traffic without a
 /// separate HTTP client.
@@ -120,7 +228,10 @@ fn scrape_counter(addr: &str, name: &str) -> u64 {
     let text = (|| {
         let mut stream = TcpStream::connect(addr).ok()?;
         stream
-            .write_all(format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n").as_bytes())
+            .write_all(
+                format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )
             .ok()?;
         let mut response = String::new();
         stream.read_to_string(&mut response).ok()?;
@@ -135,20 +246,35 @@ fn scrape_counter(addr: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+/// Linear-interpolation percentile over an ascending sample. The
+/// nearest-rank-by-rounding shortcut this replaces reported the
+/// *maximum* as p99 for any burst under ~67 samples (rounding pushed
+/// the rank to the last element), overstating tail latency exactly
+/// where the CI smoke's small bursts live.
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
-    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[rank]
+    let rank = p.clamp(0.0, 1.0) * (sorted_ms.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * (rank - lo as f64)
 }
 
 fn main() {
     let args = parse_args();
     let addr = ServeOptions::from_env().addr;
     eprintln!(
-        "loadgen: {} requests at {}/s against {addr} (seed {}, shrink {})",
-        args.requests, args.rate, args.seed, args.shrink
+        "loadgen: {} requests at {}/s against {addr} (seed {}, shrink {}, {})",
+        args.requests,
+        args.rate,
+        args.seed,
+        args.shrink,
+        if args.keepalive > 0 {
+            format!("{} keep-alive connections", args.keepalive)
+        } else {
+            "connection-per-request".to_string()
+        }
     );
 
     let mut rng = SplitMix64(args.seed);
@@ -157,27 +283,68 @@ fn main() {
         .collect();
 
     let start = Instant::now();
-    let handles: Vec<_> = bodies
-        .into_iter()
-        .enumerate()
-        .map(|(i, body)| {
-            let addr = addr.clone();
-            let due = Duration::from_secs_f64(i as f64 / args.rate);
-            std::thread::spawn(move || {
-                if let Some(wait) = due.checked_sub(start.elapsed()) {
-                    std::thread::sleep(wait);
-                }
-                post_run(&addr, &body)
+    let results: Vec<(u16, Duration)> = if args.keepalive > 0 {
+        // Deal requests round-robin over the persistent connections;
+        // request i keeps its open-loop due time i/rate, so the
+        // arrival schedule matches the close-mode burst exactly.
+        let conns = args.keepalive;
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.clone();
+                let mine: Vec<(usize, String)> = bodies
+                    .iter()
+                    .enumerate()
+                    .skip(c)
+                    .step_by(conns)
+                    .map(|(i, b)| (i, b.clone()))
+                    .collect();
+                let rate = args.rate;
+                std::thread::spawn(move || {
+                    let mut conn = KeepAliveConn::new(&addr);
+                    mine.into_iter()
+                        .map(|(i, body)| {
+                            let due = Duration::from_secs_f64(i as f64 / rate);
+                            if let Some(wait) = due.checked_sub(start.elapsed()) {
+                                std::thread::sleep(wait);
+                            }
+                            (i, conn.post_run(&body))
+                        })
+                        .collect::<Vec<_>>()
+                })
             })
-        })
-        .collect();
+            .collect();
+        let mut indexed: Vec<(usize, (u16, Duration))> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("connection thread"))
+            .collect();
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    } else {
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .enumerate()
+            .map(|(i, body)| {
+                let addr = addr.clone();
+                let due = Duration::from_secs_f64(i as f64 / args.rate);
+                std::thread::spawn(move || {
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    post_run(&addr, &body)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("request thread"))
+            .collect()
+    };
 
     let mut latencies_ms = Vec::with_capacity(args.requests);
     let mut ok = 0u64;
     let mut shed = 0u64;
     let mut failed = 0u64;
-    for h in handles {
-        let (status, latency) = h.join().expect("request thread");
+    for (status, latency) in results {
         latencies_ms.push(latency.as_secs_f64() * 1e3);
         match status {
             200 => ok += 1,
@@ -189,6 +356,8 @@ fn main() {
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let cache_hits = scrape_counter(&addr, "cedar_serve_cache_hits_total");
     let cache_misses = scrape_counter(&addr, "cedar_serve_cache_misses_total");
+    let hot_hits = scrape_counter(&addr, "cedar_serve_cache_hot_hits_total");
+    let keepalive_reuse = scrape_counter(&addr, "cedar_serve_keepalive_reuse_total");
 
     let mut lat = Obj::new();
     lat.f64("p50", percentile(&latencies_ms, 0.50))
@@ -200,11 +369,14 @@ fn main() {
         .f64("rate_per_s", args.rate)
         .u64("seed", args.seed)
         .u64("shrink", u64::from(args.shrink))
+        .u64("keepalive_connections", args.keepalive as u64)
         .u64("ok", ok)
         .u64("shed_503", shed)
         .u64("failed", failed)
         .u64("cache_hits_total", cache_hits)
         .u64("cache_misses_total", cache_misses)
+        .u64("cache_hot_hits_total", hot_hits)
+        .u64("keepalive_reuse_total", keepalive_reuse)
         .f64("wall_s", wall_s)
         .raw("latency_ms", lat.finish());
     let report = o.finish();
@@ -217,5 +389,46 @@ fn main() {
     eprintln!("loadgen: wrote {}", args.out.display());
     if failed > 0 {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_between_ranks() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 1.0), 40.0);
+        // rank = 0.5 * 3 = 1.5 → halfway between 20 and 30.
+        assert_eq!(percentile(&v, 0.5), 25.0);
+        // rank = 0.99 * 3 = 2.97 → between 30 and 40, NOT clamped to
+        // the max the way nearest-rank rounding reported it.
+        let p99 = percentile(&v, 0.99);
+        assert!(p99 > 30.0 && p99 < 40.0, "{p99}");
+    }
+
+    #[test]
+    fn percentile_handles_degenerate_samples() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.5], 0.99), 7.5);
+        assert_eq!(percentile(&[1.0, 2.0], 0.75), 1.75);
+    }
+
+    #[test]
+    fn response_reader_frames_by_content_length() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\n{}";
+        let (status, close) = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(status, 200);
+        assert!(!close);
+
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+        let (status, close) = read_response(&mut &raw[..]).unwrap();
+        assert_eq!(status, 503);
+        assert!(close);
+
+        assert!(read_response(&mut &b"HTTP/1.1"[..]).is_none(), "truncated");
     }
 }

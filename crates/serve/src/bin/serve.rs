@@ -24,8 +24,13 @@ fn main() {
     println!("cedar-serve listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "cedar-serve: queue={} workers={} (POST /run, GET /metrics, GET /healthz)",
-        opts.queue, opts.workers
+        "cedar-serve: queue={} workers={} hot_capacity={} keepalive={}r/{}s \
+         (POST /run, GET /metrics, GET /healthz)",
+        opts.queue,
+        opts.workers,
+        opts.hot_capacity,
+        opts.keepalive_requests,
+        opts.keepalive_idle.as_secs()
     );
 
     signal::install();

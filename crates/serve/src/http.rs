@@ -1,12 +1,23 @@
 //! A minimal HTTP/1.1 layer over `std::io` streams.
 //!
 //! Implements exactly what the campaign service needs: parse a request
-//! line, the handful of headers we honour (`Content-Length`), read the
-//! body, and write a response with correct framing. Every connection is
-//! `Connection: close` — campaign runs are seconds-scale, so keep-alive
-//! buys nothing and closing keeps the state machine trivial.
+//! line, the handful of headers we honour (`Content-Length`,
+//! `Connection`), read the body, and write a response with correct
+//! framing. Connections are **persistent by default** (HTTP/1.1
+//! keep-alive): warm requests replay from the in-memory run cache in
+//! well under a millisecond, so a per-request TCP handshake would
+//! dominate the latency a client observes. The server honours
+//! `Connection: close` (and the HTTP/1.0 default-close rule), bounds
+//! requests-per-connection and idle time, and still forces
+//! `Connection: close` on every error and shed path.
+//!
+//! Because a pipelined client may land bytes of request *N+1* in the
+//! buffer while request *N* is being parsed, [`read_request`] takes the
+//! caller's long-lived [`BufRead`] reader rather than wrapping the raw
+//! stream itself — buffered over-read must survive across requests on
+//! one connection.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{BufRead, Read, Write};
 
 use cedar_obs::CedarError;
 
@@ -20,7 +31,8 @@ pub const MAX_BODY_BYTES: usize = 1 << 20;
 /// through a hard `Take` limit and overflow is a typed `400`.
 pub const MAX_HEAD_BYTES: u64 = 8 * 1024;
 
-/// One parsed request: method, path, and the (possibly empty) body.
+/// One parsed request: method, path, the (possibly empty) body, and
+/// the client's connection-persistence intent.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     /// `GET`, `POST`, … uppercased as received.
@@ -29,16 +41,22 @@ pub struct Request {
     pub path: String,
     /// The request body, sized by `Content-Length`.
     pub body: Vec<u8>,
+    /// Whether the connection must close after this exchange:
+    /// `Connection: close`, or HTTP/1.0 without an explicit
+    /// `Connection: keep-alive`.
+    pub close: bool,
 }
 
-/// Reads and parses one request from `stream`. Malformed framing
-/// surfaces as [`CedarError::SpecParse`] so the server can answer `400`
-/// with a typed body instead of dropping the connection.
-pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
+/// Reads and parses one request from `reader` — the connection's
+/// long-lived buffered reader, so bytes a pipelining client sent ahead
+/// of time survive into the next call. Malformed framing surfaces as
+/// [`CedarError::SpecParse`] so the server can answer `400` with a
+/// typed body instead of dropping the connection.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, CedarError> {
     let bad = |msg: &str| CedarError::SpecParse(format!("http: {msg}"));
     // The head is read through a `Take` so a runaway header line can
     // buffer at most `MAX_HEAD_BYTES` before turning into a typed 400.
-    let mut head = BufReader::new(stream).take(MAX_HEAD_BYTES);
+    let mut head = reader.take(MAX_HEAD_BYTES);
     let mut line = String::new();
     head_line(&mut head, &mut line, "request line")?;
     let mut parts = line.split_whitespace();
@@ -52,6 +70,9 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
     if !version.starts_with("HTTP/1.") {
         return Err(bad(&format!("unsupported version `{version}`")));
     }
+    // HTTP/1.0 defaults to close; 1.1 (and any later 1.x) to
+    // keep-alive. The `Connection` header overrides either way.
+    let mut close = version == "HTTP/1.0";
 
     let mut content_length: Option<usize> = None;
     loop {
@@ -76,6 +97,17 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
                 return Err(bad("conflicting duplicate Content-Length headers"));
             }
             content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list, case-insensitive: `close` forces closing,
+            // `keep-alive` opts an HTTP/1.0 client in.
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    close = false;
+                }
+            }
         }
     }
     let content_length = content_length.unwrap_or(0);
@@ -93,6 +125,7 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, CedarError> {
         method: method.to_ascii_uppercase(),
         path: path.to_string(),
         body,
+        close,
     })
 }
 
@@ -126,17 +159,21 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one complete `Connection: close` response. `extra_headers`
-/// lines are emitted verbatim (no trailing CRLF in the input).
+/// Writes one complete response. `keep_alive` selects the
+/// `Connection:` header — the caller decides persistence (error and
+/// shed paths always pass `false`). `extra_headers` lines are emitted
+/// verbatim (no trailing CRLF in the input).
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
     content_type: &str,
     extra_headers: &[&str],
+    keep_alive: bool,
     body: &[u8],
 ) -> std::io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         reason(status),
         body.len()
     );
@@ -173,6 +210,22 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/run");
         assert_eq!(req.body, b"abcd");
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_intent_follows_version_and_header() {
+        let close = |raw: &[u8]| read_request(&mut &*raw).unwrap().close;
+        assert!(close(b"GET / HTTP/1.0\r\n\r\n"), "1.0 defaults to close");
+        assert!(
+            !close(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"),
+            "1.0 opts in via the header, case-insensitively"
+        );
+        assert!(close(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"));
+        assert!(
+            close(b"GET / HTTP/1.1\r\nConnection: keep-alive, Close\r\n\r\n"),
+            "`close` wins in a token list"
+        );
     }
 
     #[test]
@@ -240,6 +293,7 @@ mod tests {
             503,
             "application/json",
             &["Retry-After: 1"],
+            false,
             b"{}",
         )
         .unwrap();
@@ -247,7 +301,13 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 1\r\n"));
         assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", &[], true, b"{}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
 
         let body = error_body(&CedarError::SpecParse("no such app".into()));
         let parsed = cedar_obs::json::parse(&body).unwrap();

@@ -12,10 +12,18 @@
 //! fingerprint and the paper-style overhead decomposition as ordered
 //! JSON ([`reply`]).
 //!
-//! Because simulation is deterministic and replies never embed
-//! wall-clock values, a warm (cache-hit) reply is byte-identical to the
-//! cold reply for the same spec; hit/miss evidence is visible on
-//! `GET /metrics` (Prometheus text, [`metrics`]) instead.
+//! The run cache is opened once, process-wide, and shared by every
+//! worker; an in-memory hot tier of decoded runs
+//! ([`ServeOptions::hot_capacity`]) sits over the disk store, so a warm
+//! spec costs a lock and a clone instead of a read + checksum + decode.
+//! Connections are persistent (HTTP/1.1 keep-alive, bounded by
+//! [`ServeOptions::keepalive_requests`] and
+//! [`ServeOptions::keepalive_idle`]), so a warm client also skips the
+//! per-request TCP handshake. Because simulation is deterministic and
+//! replies never embed wall-clock values, a warm (cache-hit) reply is
+//! byte-identical to the cold reply for the same spec — from either
+//! tier; hit/miss evidence is visible on `GET /metrics` (Prometheus
+//! text, [`metrics`]) instead.
 //!
 //! Load shedding is explicit: the accept loop feeds a bounded
 //! connection queue ([`ServeOptions::queue`]) and overflow is answered

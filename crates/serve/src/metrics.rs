@@ -79,6 +79,19 @@ impl Histogram {
     }
 }
 
+/// A scrape-time sample of the hot tier's store-wide state, passed
+/// into [`Metrics::render_with_hot`] by the handler that owns the
+/// cache session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotTierView {
+    /// Entries evicted since the store opened.
+    pub evictions: u64,
+    /// Decoded runs currently resident.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+}
+
 /// The service's counter set.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -93,6 +106,14 @@ pub struct Metrics {
     /// Run-cache traffic accumulated across campaign requests.
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Hot-tier traffic within those hits: `cache_hot_hits` replies
+    /// never touched the disk store at all.
+    cache_hot_hits: AtomicU64,
+    cache_hot_misses: AtomicU64,
+    /// Connections handed to a worker, and requests served on an
+    /// already-used (kept-alive) connection.
+    connections: AtomicU64,
+    keepalive_reuse: AtomicU64,
     /// Current connection-queue depth (gauge).
     queue_depth: AtomicI64,
     /// Request phases: HTTP read+spec parse, campaign execution, reply
@@ -125,11 +146,35 @@ impl Metrics {
     pub fn count_cache(&self, stats: &cedar_cache::CacheStats) {
         self.cache_hits.fetch_add(stats.hits, Ordering::Relaxed);
         self.cache_misses.fetch_add(stats.misses, Ordering::Relaxed);
+        self.cache_hot_hits
+            .fetch_add(stats.hot_hits, Ordering::Relaxed);
+        self.cache_hot_misses
+            .fetch_add(stats.hot_misses, Ordering::Relaxed);
     }
 
     /// Cache hits observed so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Hot-tier hits observed so far.
+    pub fn cache_hot_hits(&self) -> u64 {
+        self.cache_hot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Counts one connection handed to a worker.
+    pub fn count_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request served on an already-used connection.
+    pub fn count_keepalive_reuse(&self) {
+        self.keepalive_reuse.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests served beyond the first on their connection.
+    pub fn keepalive_reuse_total(&self) -> u64 {
+        self.keepalive_reuse.load(Ordering::Relaxed)
     }
 
     /// Adjusts the queue-depth gauge by `delta`.
@@ -152,8 +197,19 @@ impl Metrics {
         &self.write_latency
     }
 
-    /// Renders the whole family as Prometheus exposition text.
+    /// Renders the whole family as Prometheus exposition text, without
+    /// hot-tier state (the convenience form for tests and callers with
+    /// no cache session at hand).
     pub fn render_prometheus(&self) -> String {
+        self.render_with_hot(None)
+    }
+
+    /// [`render_prometheus`](Self::render_prometheus), plus the hot
+    /// tier's store-wide state sampled at scrape time. Evictions and
+    /// occupancy live on the shared store, not on any one campaign, so
+    /// the scrape handler passes them in rather than this counter set
+    /// accumulating them.
+    pub fn render_with_hot(&self, hot: Option<HotTierView>) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(
             "# HELP cedar_serve_requests_total Completed requests by response status.\n\
@@ -187,6 +243,61 @@ impl Metrics {
         out.push_str(&format!(
             "cedar_serve_cache_misses_total {}\n",
             self.cache_misses.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_cache_hot_hits_total Campaign runs served from the in-memory hot tier.\n\
+             # TYPE cedar_serve_cache_hot_hits_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_cache_hot_hits_total {}\n",
+            self.cache_hot_hits.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_cache_hot_misses_total Hot-tier probes that fell through to disk or simulation.\n\
+             # TYPE cedar_serve_cache_hot_misses_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_cache_hot_misses_total {}\n",
+            self.cache_hot_misses.load(Ordering::Relaxed)
+        ));
+        if let Some(hot) = hot {
+            out.push_str(
+                "# HELP cedar_serve_cache_hot_evictions_total Hot-tier entries evicted to stay within capacity.\n\
+                 # TYPE cedar_serve_cache_hot_evictions_total counter\n",
+            );
+            out.push_str(&format!(
+                "cedar_serve_cache_hot_evictions_total {}\n",
+                hot.evictions
+            ));
+            out.push_str(
+                "# HELP cedar_serve_cache_hot_entries Decoded runs resident in the hot tier.\n\
+                 # TYPE cedar_serve_cache_hot_entries gauge\n",
+            );
+            out.push_str(&format!("cedar_serve_cache_hot_entries {}\n", hot.entries));
+            out.push_str(
+                "# HELP cedar_serve_cache_hot_capacity The hot tier's configured capacity.\n\
+                 # TYPE cedar_serve_cache_hot_capacity gauge\n",
+            );
+            out.push_str(&format!(
+                "cedar_serve_cache_hot_capacity {}\n",
+                hot.capacity
+            ));
+        }
+        out.push_str(
+            "# HELP cedar_serve_connections_total Connections handed to a campaign worker.\n\
+             # TYPE cedar_serve_connections_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_connections_total {}\n",
+            self.connections.load(Ordering::Relaxed)
+        ));
+        out.push_str(
+            "# HELP cedar_serve_keepalive_reuse_total Requests served beyond the first on their connection.\n\
+             # TYPE cedar_serve_keepalive_reuse_total counter\n",
+        );
+        out.push_str(&format!(
+            "cedar_serve_keepalive_reuse_total {}\n",
+            self.keepalive_reuse.load(Ordering::Relaxed)
         ));
         out.push_str(
             "# HELP cedar_serve_queue_depth Connections waiting for a worker.\n\
@@ -249,8 +360,45 @@ mod tests {
         assert!(text.contains("cedar_serve_requests_total{code=\"200\"} 1\n"));
         assert!(text.contains("cedar_serve_requests_total{code=\"503\"} 1\n"));
         assert!(text.contains("cedar_serve_cache_hits_total 0\n"));
+        assert!(text.contains("cedar_serve_cache_hot_hits_total 0\n"));
+        assert!(text.contains("cedar_serve_connections_total 0\n"));
+        assert!(text.contains("cedar_serve_keepalive_reuse_total 0\n"));
         assert!(text.contains("cedar_serve_queue_depth 1\n"));
         assert!(text.contains("# TYPE cedar_serve_request_phase_seconds histogram\n"));
+        assert!(
+            !text.contains("cedar_serve_cache_hot_entries"),
+            "tier state is absent without a scrape-time view"
+        );
         assert_eq!(m.shed_total(), 1);
+    }
+
+    #[test]
+    fn hot_tier_view_and_keepalive_counters_render() {
+        let m = Metrics::default();
+        m.count_connection();
+        m.count_keepalive_reuse();
+        m.count_keepalive_reuse();
+        m.count_cache(&cedar_cache::CacheStats {
+            hits: 5,
+            misses: 1,
+            hot_hits: 4,
+            hot_misses: 2,
+            ..cedar_cache::CacheStats::default()
+        });
+        let text = m.render_with_hot(Some(HotTierView {
+            evictions: 3,
+            entries: 7,
+            capacity: 256,
+        }));
+        assert!(text.contains("cedar_serve_cache_hits_total 5\n"));
+        assert!(text.contains("cedar_serve_cache_hot_hits_total 4\n"));
+        assert!(text.contains("cedar_serve_cache_hot_misses_total 2\n"));
+        assert!(text.contains("cedar_serve_cache_hot_evictions_total 3\n"));
+        assert!(text.contains("cedar_serve_cache_hot_entries 7\n"));
+        assert!(text.contains("cedar_serve_cache_hot_capacity 256\n"));
+        assert!(text.contains("cedar_serve_connections_total 1\n"));
+        assert!(text.contains("cedar_serve_keepalive_reuse_total 2\n"));
+        assert_eq!(m.cache_hot_hits(), 4);
+        assert_eq!(m.keepalive_reuse_total(), 2);
     }
 }

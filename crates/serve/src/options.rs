@@ -7,10 +7,13 @@
 //! reader (enforced by the `scripts/ci.sh` env-read guard).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// The campaign service's host-process configuration: where to listen,
 /// how much backlog to absorb before shedding load, how many worker
-/// threads execute campaigns, and where the run cache lives.
+/// threads execute campaigns, where the run cache lives and how large
+/// its in-memory hot tier is, and the keep-alive budget a persistent
+/// connection gets.
 ///
 /// # Example
 ///
@@ -37,6 +40,17 @@ pub struct ServeOptions {
     /// Run-cache directory override (`None` = the workspace
     /// `results/cache/`). Typed-only — no environment variable sets it.
     pub cache_dir: Option<PathBuf>,
+    /// In-memory hot-tier capacity of the process-wide run cache, in
+    /// decoded runs (0 disables the tier; warm requests then pay the
+    /// disk read + decode + checksum every time). Typed-only.
+    pub hot_capacity: usize,
+    /// Requests one keep-alive connection may serve before the server
+    /// forces `Connection: close` — bounds how long a chatty client can
+    /// monopolize a worker. Typed-only.
+    pub keepalive_requests: usize,
+    /// How long a keep-alive connection may sit idle between requests
+    /// before the server closes it. Typed-only.
+    pub keepalive_idle: Duration,
 }
 
 impl Default for ServeOptions {
@@ -46,6 +60,9 @@ impl Default for ServeOptions {
             queue: 64,
             workers: 2,
             cache_dir: None,
+            hot_capacity: 256,
+            keepalive_requests: 100,
+            keepalive_idle: Duration::from_secs(5),
         }
     }
 }
@@ -98,6 +115,25 @@ impl ServeOptions {
         self.cache_dir = Some(dir.into());
         self
     }
+
+    /// Sizes the in-memory hot tier (builder style, 0 disables it).
+    pub fn with_hot_capacity(mut self, capacity: usize) -> Self {
+        self.hot_capacity = capacity;
+        self
+    }
+
+    /// Bounds requests per keep-alive connection (builder style,
+    /// clamped to ≥ 1 — a connection always serves at least one).
+    pub fn with_keepalive_requests(mut self, requests: usize) -> Self {
+        self.keepalive_requests = requests.max(1);
+        self
+    }
+
+    /// Sets the keep-alive idle budget (builder style).
+    pub fn with_keepalive_idle(mut self, idle: Duration) -> Self {
+        self.keepalive_idle = idle;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -111,6 +147,9 @@ mod tests {
         assert_eq!(o.queue, 64);
         assert_eq!(o.workers, 2);
         assert_eq!(o.cache_dir, None);
+        assert_eq!(o.hot_capacity, 256);
+        assert_eq!(o.keepalive_requests, 100);
+        assert_eq!(o.keepalive_idle, Duration::from_secs(5));
     }
 
     #[test]
@@ -119,10 +158,16 @@ mod tests {
             .with_addr("0.0.0.0:0")
             .with_queue(0)
             .with_workers(0)
-            .with_cache_dir("/tmp/c");
+            .with_cache_dir("/tmp/c")
+            .with_hot_capacity(0)
+            .with_keepalive_requests(0)
+            .with_keepalive_idle(Duration::from_millis(80));
         assert_eq!(o.addr, "0.0.0.0:0");
         assert_eq!(o.queue, 1, "queue clamps to 1");
         assert_eq!(o.workers, 1, "workers clamp to 1");
         assert_eq!(o.cache_dir, Some(PathBuf::from("/tmp/c")));
+        assert_eq!(o.hot_capacity, 0, "0 legitimately disables the tier");
+        assert_eq!(o.keepalive_requests, 1, "keep-alive budget clamps to 1");
+        assert_eq!(o.keepalive_idle, Duration::from_millis(80));
     }
 }

@@ -3,13 +3,15 @@
 //! Each test binds an ephemeral port, drives the service with raw
 //! HTTP/1.1 over `TcpStream` (the same framing any client would use),
 //! and checks the service-level guarantees: replies are byte-identical
-//! to the library path (and to their own cache-hit replays), malformed
-//! specs get typed `400`s, overflow gets `503` + `Retry-After`, and a
-//! graceful drain finishes queued work.
+//! to the library path (and to their own cache-hit replays — cold,
+//! warm-from-disk, and hot-tier alike), malformed specs get typed
+//! `400`s, overflow gets `503` + `Retry-After`, keep-alive connections
+//! serve repeated requests with bounded idle time, and a graceful
+//! drain finishes queued work.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cedar::obs::json;
 use cedar::prelude::*;
@@ -20,16 +22,16 @@ use cedar::serve::reply::measurement_fingerprint;
 const SPEC: &str = r#"{"app":"FLO52","processors":4,"scheduler":"calendar","shrink":64}"#;
 
 fn start_server(queue: usize, workers: usize) -> (Server, String) {
+    start_server_with(ServeOptions::default().with_queue(queue).with_workers(workers))
+}
+
+fn start_server_with(opts: ServeOptions) -> (Server, String) {
     let cache_dir = std::env::temp_dir().join(format!(
         "cedar-serve-test-{}-{}",
         std::process::id(),
         fastrand()
     ));
-    let opts = ServeOptions::default()
-        .with_addr("127.0.0.1:0")
-        .with_queue(queue)
-        .with_workers(workers)
-        .with_cache_dir(&cache_dir);
+    let opts = opts.with_addr("127.0.0.1:0").with_cache_dir(&cache_dir);
     let server = Server::start(&opts).expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
     (server, addr)
@@ -45,7 +47,9 @@ fn fastrand() -> u64 {
         .subsec_nanos() as u64
 }
 
-/// Sends one raw request and returns (status, headers, body).
+/// Sends one raw request (announcing `Connection: close`, so the
+/// keep-alive server hands the socket back immediately) and returns
+/// (status, headers, body).
 fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -54,7 +58,7 @@ fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, St
     stream
         .write_all(
             format!(
-                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{body}",
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                 body.len()
             )
             .as_bytes(),
@@ -71,6 +75,47 @@ fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, St
         .and_then(|s| s.parse().ok())
         .expect("status line");
     (status, head.to_string(), payload.to_string())
+}
+
+/// Reads one `Content-Length`-framed response off a persistent
+/// connection: (status, head, body). The keep-alive counterpart of
+/// `request` — the connection stays usable for the next exchange.
+fn read_framed<R: BufRead>(reader: &mut R) -> (u16, String, String) {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status");
+    let mut head = line.trim_end().to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header).expect("header");
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        head.push_str("\r\n");
+        head.push_str(header);
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().expect("content length");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, head, String::from_utf8(body).expect("utf8 body"))
+}
+
+/// The raw bytes of one keep-alive `POST /run` carrying `spec`.
+fn keepalive_post(spec: &str) -> String {
+    format!(
+        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{spec}",
+        spec.len()
+    )
 }
 
 fn post_run(addr: &str, spec: &str) -> (u16, String) {
@@ -211,7 +256,7 @@ fn byte_at_a_time_split_reads_still_parse() {
     // exactly like a single-segment request.
     let (server, addr) = start_server(4, 1);
     let raw = format!(
-        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{SPEC}",
+        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{SPEC}",
         SPEC.len()
     );
     let mut stream = TcpStream::connect(&addr).expect("connect");
@@ -297,33 +342,159 @@ fn hostile_headers_get_typed_400s_and_leave_the_server_healthy() {
 }
 
 #[test]
-fn pipelined_requests_get_exactly_one_reply_then_close() {
-    // The service is strictly Connection: close — a client pipelining a
-    // second request on the same socket gets one complete reply and a
-    // clean close, never a second (possibly interleaved) response.
+fn pipelined_requests_each_get_a_complete_reply_in_order() {
+    // The service is persistent: a client pipelining a second request
+    // on the same socket gets two complete, correctly framed replies in
+    // request order — no interleaving, no dropped bytes. The second is
+    // a cache replay of the first, so the bodies are byte-identical.
     let (server, addr) = start_server(4, 1);
-    let one = format!(
-        "POST /run HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n{SPEC}",
-        SPEC.len()
-    );
+    let one = keepalive_post(SPEC);
     let mut stream = TcpStream::connect(&addr).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     stream
         .write_all(format!("{one}{one}").as_bytes())
         .expect("send both");
-    let mut response = String::new();
-    stream.read_to_string(&mut response).expect("read");
-    assert!(response.starts_with("HTTP/1.1 200 "), "{response}");
+    let (status1, head1, body1) = read_framed(&mut reader);
+    assert_eq!(status1, 200, "{body1}");
+    assert!(head1.contains("Connection: keep-alive"), "{head1}");
+    let (status2, _, body2) = read_framed(&mut reader);
+    assert_eq!(status2, 200, "{body2}");
     assert_eq!(
-        response.matches("HTTP/1.1").count(),
-        1,
-        "pipelined request must not get a second response: {response}"
+        body1, body2,
+        "pipelined warm reply must be byte-identical to the cold reply"
     );
-    assert!(response.contains("Connection: close\r\n"), "{response}");
-    let body = response.split_once("\r\n\r\n").unwrap().1;
-    assert!(json::parse(body).is_ok(), "single reply is complete JSON");
+    assert!(json::parse(&body1).is_ok(), "replies are complete JSON");
+    assert_eq!(server.metrics().cache_hits(), 1, "second request replays");
+    assert_eq!(
+        server.metrics().keepalive_reuse_total(),
+        1,
+        "the second request reused the connection"
+    );
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sequential_keepalive_requests_share_one_connection() {
+    // Two request/response exchanges back-to-back on one socket, the
+    // second written only after the first reply fully arrived (plain
+    // keep-alive reuse, no pipelining).
+    let (server, addr) = start_server(4, 1);
+    let one = keepalive_post(SPEC);
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    stream.write_all(one.as_bytes()).expect("send first");
+    let (status1, head1, body1) = read_framed(&mut reader);
+    assert_eq!(status1, 200, "{body1}");
+    assert!(head1.contains("Connection: keep-alive"), "{head1}");
+
+    stream.write_all(one.as_bytes()).expect("send second");
+    let (status2, _, body2) = read_framed(&mut reader);
+    assert_eq!(status2, 200, "{body2}");
+    assert_eq!(
+        body1, body2,
+        "warm reply on a reused connection must be byte-identical"
+    );
+    assert_eq!(server.metrics().keepalive_reuse_total(), 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn idle_keepalive_connections_are_closed_cleanly() {
+    let (server, addr) = start_server_with(
+        ServeOptions::default()
+            .with_queue(4)
+            .with_workers(1)
+            .with_keepalive_idle(Duration::from_millis(300)),
+    );
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+        .expect("send");
+    let (status, head, _) = read_framed(&mut reader);
+    assert_eq!(status, 200);
+    assert!(head.contains("Connection: keep-alive"), "{head}");
+
+    // Go idle: the server must close with a clean EOF (no RST, no
+    // stray bytes) within the idle budget plus one poll slice.
+    let idle_start = Instant::now();
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("clean close");
+    assert!(rest.is_empty(), "no bytes after the reply: {rest:?}");
+    assert!(
+        idle_start.elapsed() < Duration::from_secs(5),
+        "idle close took {:?}",
+        idle_start.elapsed()
+    );
+
+    // The worker is free again afterwards.
+    let (status, body) = post_run(&addr, SPEC);
+    assert_eq!(status, 200, "{body}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn warm_keepalive_stress_is_served_from_the_hot_tier() {
+    // One cold request seeds the disk store and the hot tier; four
+    // concurrent clients then each pipeline 25 copies of the same spec
+    // on one connection. Every warm reply must be byte-identical to
+    // the cold one, and every warm lookup must be a hot-tier hit —
+    // requests minus the single cold miss.
+    let (server, addr) = start_server(64, 4);
+    let (cold_status, cold_body) = post_run(&addr, SPEC);
+    assert_eq!(cold_status, 200, "{cold_body}");
+
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 25;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let cold_body = cold_body.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(60)))
+                    .unwrap();
+                let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                let burst = keepalive_post(SPEC).repeat(PER_CLIENT);
+                stream.write_all(burst.as_bytes()).expect("send burst");
+                for i in 0..PER_CLIENT {
+                    let (status, _, body) = read_framed(&mut reader);
+                    assert_eq!(status, 200, "request {i}: {body}");
+                    assert_eq!(body, cold_body, "request {i} diverged from the cold reply");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let warm = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(
+        server.metrics().cache_hot_hits(),
+        warm,
+        "every warm request must hit the hot tier"
+    );
+    assert_eq!(server.metrics().cache_hits(), warm);
+    assert_eq!(
+        server.metrics().keepalive_reuse_total(),
+        (CLIENTS * (PER_CLIENT - 1)) as u64,
+        "each client's connection served its whole burst"
+    );
     server.shutdown();
     server.join();
 }
